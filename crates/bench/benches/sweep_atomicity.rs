@@ -1,0 +1,82 @@
+//! E4/E6 — the atomicity sweep: how contention-free complexity trades
+//! against register width (the paper has no figures, so this sweep *is*
+//! the function the bounds tables tabulate), plus the Theorem 1 corollary
+//! that shared-bit accesses stay Θ(log n) no matter how `l` is chosen.
+
+use cfc_bounds::mutex as bounds;
+use cfc_bounds::table::TextTable;
+use cfc_core::ProcessId;
+use cfc_mutex::{measure, SplitterTree, Tournament};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn print_sweep(n: usize) {
+    println!("\n=== Atomicity sweep at n = {n} ===\n");
+    let mut table = TextTable::new([
+        "l",
+        "arity",
+        "depth",
+        "mutex cf steps",
+        "thm3 7log(n)/l",
+        "mutex cf regs",
+        "thm3 3log(n)/l",
+        "bit accesses",
+        "detector wc steps",
+    ]);
+    let pid = ProcessId::new(0);
+    for l in [1u32, 2, 3, 4, 6, 8, 12, 16] {
+        let alg = Tournament::sparse(n, l, &[pid]);
+        let trip = measure::contention_free_trip(&alg, pid).unwrap();
+        let tree = SplitterTree::sparse(n, l, &[pid]);
+        let det = measure::contention_free_detection(&tree, pid).unwrap();
+        table.row([
+            l.to_string(),
+            alg.arity().to_string(),
+            alg.depth().to_string(),
+            trip.total.steps.to_string(),
+            bounds::thm3_step_upper(n as u64, l).to_string(),
+            trip.total.registers.to_string(),
+            bounds::thm3_register_upper(n as u64, l).to_string(),
+            trip.total.bit_accesses.to_string(),
+            // The splitter tree is loop-free: its cf cost IS its wc cost.
+            det.steps.to_string(),
+        ]);
+    }
+    println!("{table}");
+    if let Ok(path) = cfc_bench::write_artifact(&format!("sweep_atomicity_n{n}"), &table) {
+        println!("(csv artifact: {})\n", path.display());
+    }
+    println!(
+        "steps fall as ~log(n)/l while bit accesses stay Θ(log n) — the\n\
+         corollary to Theorem 1: constant-bit contention-free cost is\n\
+         impossible at any atomicity.\n"
+    );
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    print_sweep(1 << 12);
+    print_sweep(1 << 20);
+
+    let mut group = c.benchmark_group("sweep/solo_trip_by_atomicity");
+    let n = 1 << 16;
+    for l in [1u32, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let pid = ProcessId::new(0);
+            let alg = Tournament::sparse(n, l, &[pid]);
+            b.iter(|| measure::contention_free_trip(&alg, pid).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sweep/detector_by_atomicity");
+    for l in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let pid = ProcessId::new(0);
+            let tree = SplitterTree::sparse(n, l, &[pid]);
+            b.iter(|| measure::contention_free_detection(&tree, pid).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

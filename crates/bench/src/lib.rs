@@ -1,0 +1,106 @@
+//! Shared plumbing for the cfc benchmark harness.
+//!
+//! Each bench target in `benches/` regenerates one table or quantitative
+//! claim of Alur & Taubenfeld (PODC 1994): it prints the reproduced
+//! artifact (so `cargo bench` output contains the paper's tables,
+//! re-derived from measured runs) and then times the underlying
+//! measurement pipeline with criterion. This library hosts helpers reused
+//! across targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cfc_bounds::table::TextTable;
+use cfc_core::metrics::TripComplexity;
+use cfc_core::{Layout, ProcessId, Trace};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Writes a reproduced table as CSV under `target/cfc-artifacts/`,
+/// returning the path. Benches call this so that every regenerated paper
+/// artifact also exists in machine-readable form.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_artifact(name: &str, table: &TextTable) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/cfc-artifacts");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// The distinct *memory words* a process touched: packed registers count
+/// once per word, unpacked registers once each. Under coherent caching
+/// this is the remote-access count of the run (Section 1.2), and it is
+/// the quantity the [MS93] packing experiment reduces.
+pub fn distinct_words(trace: &Trace, layout: &Layout, pid: ProcessId) -> usize {
+    let mut words = BTreeSet::new();
+    for (op, _) in trace.accesses_by(pid) {
+        for r in op.registers(layout) {
+            match layout.spec(r).word() {
+                Some(w) => words.insert((1u8, w.index() as u64)),
+                None => words.insert((0u8, r.index() as u64)),
+            };
+        }
+    }
+    words.len()
+}
+
+/// Formats a [`TripComplexity`] as `steps/registers` for table cells.
+pub fn cell(trip: &TripComplexity) -> String {
+    format!("{}/{}", trip.total.steps, trip.total.registers)
+}
+
+/// The `n` values used by the table sweeps.
+pub const TABLE_NS: [usize; 4] = [16, 256, 4096, 1 << 16];
+
+/// The `l` values used by the table sweeps.
+pub const TABLE_LS: [u32; 4] = [1, 2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_core::{run_solo, Memory, Op, OpResult, Process, Step, Value};
+
+    #[derive(Clone)]
+    struct Toucher {
+        ops: Vec<Op>,
+        pc: usize,
+    }
+
+    impl Process for Toucher {
+        fn current(&self) -> Step {
+            match self.ops.get(self.pc) {
+                Some(op) => Step::Op(op.clone()),
+                None => Step::Halt,
+            }
+        }
+        fn advance(&mut self, _: OpResult) {
+            self.pc += 1;
+        }
+    }
+
+    #[test]
+    fn distinct_words_collapses_packed_registers() {
+        let mut layout = Layout::new();
+        let x = layout.register("x", 4, 0);
+        let y = layout.register("y", 4, 0);
+        let z = layout.bit("z", false);
+        let w = layout.pack(&[x, y]).unwrap();
+        let memory = Memory::new(layout.clone(), 8).unwrap();
+        let proc_ = Toucher {
+            ops: vec![
+                Op::Write(x, Value::ONE),
+                Op::Read(y),
+                Op::Read(z),
+                Op::ReadWord(w),
+            ],
+            pc: 0,
+        };
+        let (trace, _, _) = run_solo(memory, proc_).unwrap();
+        // x and y share a word; z stands alone: 2 distinct words.
+        assert_eq!(distinct_words(&trace, &layout, ProcessId::new(0)), 2);
+    }
+}

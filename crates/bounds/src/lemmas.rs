@@ -1,0 +1,141 @@
+//! The combinatorial inequalities of Lemma 3 and Lemma 6.
+//!
+//! These are the engines behind Theorems 1 and 2: any algorithm solving
+//! contention detection among `n` processes must have contention-free
+//! complexities satisfying them. The experiment suite plugs *measured*
+//! complexities of every implemented algorithm into these inequalities —
+//! a direct, executable check of the paper's core claims.
+
+/// log₂(w!) computed stably in log space.
+pub fn log2_factorial(w: u64) -> f64 {
+    (2..=w).map(|k| (k as f64).log2()).sum()
+}
+
+/// Lemma 3: for any contention-detection algorithm among `n` processes
+/// with atomicity `l`, contention-free **write-step** complexity `w`, and
+/// contention-free **read-register** complexity `r`:
+///
+/// `w·l + w·log₂(w²·r + w·r²) ≥ log₂ n`.
+///
+/// Returns the left-hand side value.
+pub fn lemma3_lhs(l: u32, w: u64, r: u64) -> f64 {
+    let (wf, rf) = (w as f64, r as f64);
+    let inner = wf * wf * rf + wf * rf * rf;
+    if inner <= 0.0 {
+        return 0.0;
+    }
+    wf * l as f64 + wf * inner.log2()
+}
+
+/// Does the measured profile satisfy Lemma 3's inequality?
+///
+/// `true` is expected for every *correct* algorithm; a violation would
+/// contradict the paper (or reveal an unsafe algorithm).
+pub fn lemma3_holds(n: u64, l: u32, w: u64, r: u64) -> bool {
+    lemma3_lhs(l, w, r) >= (n as f64).log2()
+}
+
+/// Lemma 6 right-hand side in log space: for any contention-detection
+/// algorithm among `n` processes with atomicity `l`, contention-free
+/// **write-register** complexity `w`, and contention-free **register**
+/// complexity `c`:
+///
+/// `n < 2·w! · (4c·w!)^c · (w·2^{l·w})^w`.
+///
+/// Returns `log₂` of the right-hand side.
+pub fn lemma6_rhs_log2(l: u32, w: u64, c: u64) -> f64 {
+    let lf = log2_factorial(w);
+    let log_4c = if c == 0 { 0.0 } else { (4.0 * c as f64).log2() };
+    let log_w = if w == 0 { 0.0 } else { (w as f64).log2() };
+    1.0 + lf + c as f64 * (log_4c + lf) + w as f64 * (log_w + l as f64 * w as f64)
+}
+
+/// Does the measured profile satisfy Lemma 6's inequality?
+pub fn lemma6_holds(n: u64, l: u32, w: u64, c: u64) -> bool {
+    (n as f64).log2() < lemma6_rhs_log2(l, w, c)
+}
+
+/// The largest `n` for which a given contention-free profile `(w, r)` can
+/// possibly solve contention detection, per Lemma 3: `2^(lemma3_lhs)`.
+///
+/// Saturates at `u64::MAX` for large profiles.
+pub fn lemma3_max_processes(l: u32, w: u64, r: u64) -> u64 {
+    let lhs = lemma3_lhs(l, w, r);
+    if lhs >= 63.0 {
+        u64::MAX
+    } else {
+        lhs.exp2().floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_factorial_small_values() {
+        assert_eq!(log2_factorial(0), 0.0);
+        assert_eq!(log2_factorial(1), 0.0);
+        assert!((log2_factorial(2) - 1.0).abs() < 1e-12);
+        // log2(6) = log2(3!) ~ 2.585
+        assert!((log2_factorial(3) - 6f64.log2()).abs() < 1e-12);
+        // Stirling sanity for a larger value: log2(20!) ~ 61.077
+        assert!((log2_factorial(20) - 61.0774).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lemma3_monotone_in_profile() {
+        // More writes or more registers read can only help.
+        assert!(lemma3_lhs(4, 2, 2) < lemma3_lhs(4, 3, 2));
+        assert!(lemma3_lhs(4, 2, 2) < lemma3_lhs(4, 2, 3));
+        assert!(lemma3_lhs(1, 2, 2) < lemma3_lhs(8, 2, 2));
+    }
+
+    #[test]
+    fn lemma3_sanity_for_lamport_profile() {
+        // Lamport's fast mutex contention-free profile: 3 writes
+        // (b, x, y), reads of 2 registers (y, x), registers of log n bits.
+        // The mutex -> detector reduction adds one read and one write of
+        // the `claimed` bit: w = 4 write-steps, r = 3 read-registers.
+        // Lemma 3 must admit n processes with l = log2(n).
+        for exp in [4u32, 8, 16, 20] {
+            let n = 1u64 << exp;
+            assert!(
+                lemma3_holds(n, exp, 4, 3),
+                "Lamport profile must satisfy Lemma 3 at n = 2^{exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma3_rules_out_constant_bit_profiles() {
+        // A detector over bits (l = 1) with constant profile w = r = 2
+        // cannot serve arbitrarily many processes: lhs = 2 + 2*log2(12).
+        let max_n = lemma3_max_processes(1, 2, 2);
+        assert!(max_n <= 1 << 10, "constant-bit profile caps n, got {max_n}");
+        assert!(!lemma3_holds(1 << 20, 1, 2, 2));
+    }
+
+    #[test]
+    fn lemma6_sanity() {
+        // A profile with c = 3 registers, w = 2 written, l = 16 admits
+        // large n (Lamport-like), while tiny bit profiles do not admit
+        // astronomically many processes.
+        assert!(lemma6_holds(1 << 20, 16, 2, 3));
+        let rhs = lemma6_rhs_log2(1, 1, 1);
+        // w = c = 1, l = 1: rhs_log = 1 + 0 + 1*(2 + 0) + 1*(0 + 1) = 4.
+        assert!((rhs - 4.0).abs() < 1e-9, "{rhs}");
+        assert!(!lemma6_holds(1 << 10, 1, 1, 1));
+    }
+
+    #[test]
+    fn lemma6_monotone_in_profile() {
+        assert!(lemma6_rhs_log2(4, 2, 3) < lemma6_rhs_log2(4, 2, 4));
+        assert!(lemma6_rhs_log2(4, 2, 3) < lemma6_rhs_log2(4, 3, 3));
+    }
+
+    #[test]
+    fn lemma3_max_processes_saturates() {
+        assert_eq!(lemma3_max_processes(60, 10, 10), u64::MAX);
+    }
+}

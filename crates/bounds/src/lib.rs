@@ -1,0 +1,85 @@
+//! Closed-form complexity bounds from Alur & Taubenfeld (PODC 1994).
+//!
+//! This crate evaluates, as plain functions, every quantitative bound the
+//! paper proves:
+//!
+//! * [`mutex`] — Theorems 1–3: lower and upper bounds on the
+//!   contention-free step and register complexity of mutual exclusion (and
+//!   contention detection) as a function of the number of processes `n`
+//!   and the atomicity `l`.
+//! * [`lemmas`] — the combinatorial inequalities of Lemma 3 and Lemma 6,
+//!   which any correct contention-detection algorithm must satisfy;
+//!   experiments plug *measured* complexities into them.
+//! * [`naming`] — the tight bounds of the naming table (Section 3.3,
+//!   Theorems 4–7).
+//! * [`table`] — plain-text table rendering used by the benches to
+//!   regenerate the paper's tables.
+//!
+//! # Example
+//!
+//! ```
+//! use cfc_bounds::mutex;
+//!
+//! // For n = 2^60 processes and 1-bit registers, a process must access
+//! // shared bits several times even without contention:
+//! let lower = mutex::thm1_step_lower_int(1 << 60, 1);
+//! assert!(lower >= 4);
+//! // ...and 7 * ceil(log n / l) accesses always suffice:
+//! assert_eq!(mutex::thm3_step_upper(1 << 20, 1), 140);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lemmas;
+pub mod mutex;
+pub mod naming;
+pub mod table;
+
+/// ⌈log₂ n⌉ for n ≥ 1 (0 for n = 1).
+pub fn ceil_log2(n: u64) -> u32 {
+    assert!(n >= 1, "ceil_log2 requires n >= 1");
+    64 - (n - 1).leading_zeros()
+}
+
+/// log₂ n as a float, for bound formulas.
+pub fn log2(n: u64) -> f64 {
+    (n as f64).log2()
+}
+
+/// ⌈a / b⌉ for integers.
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    assert!(b > 0, "division by zero");
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn ceil_div_values() {
+        assert_eq!(ceil_div(10, 3), 4);
+        assert_eq!(ceil_div(9, 3), 3);
+        assert_eq!(ceil_div(1, 5), 1);
+        assert_eq!(ceil_div(0, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn ceil_log2_rejects_zero() {
+        ceil_log2(0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The benchmark harness regenerates the paper's tables as aligned text
+//! (and CSV for downstream tooling); this module is the shared renderer.
+
+use std::fmt;
+
+/// An aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use cfc_bounds::table::TextTable;
+///
+/// let mut t = TextTable::new(["n", "lower", "measured", "upper"]);
+/// t.row(["16", "2", "7", "28"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("measured"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    title: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            title: None,
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated to the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as comma-separated values (header row first).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        if let Some(title) = &self.title {
+            writeln!(f, "{title}")?;
+        }
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["a", "bbbb"]).with_title("demo");
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.to_string();
+        assert!(s.starts_with("demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, separator, 2 rows
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains('a') && lines[1].contains("bbbb"));
+        // Right-aligned: "333" should align under "a" column of width 3.
+        assert!(lines[4].starts_with("333"));
+        assert!(lines[3].starts_with("  1"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = TextTable::new(["x", "y"]);
+        t.row(["only-x"]);
+        t.row(["1", "2", "extra-dropped"]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(!s.contains("extra-dropped"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(["h1", "h2"]);
+        assert!(t.is_empty());
+        let s = t.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

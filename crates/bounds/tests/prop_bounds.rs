@@ -1,0 +1,129 @@
+//! Property-based tests for the bound formulas: monotonicity, ordering,
+//! and consistency relations that must hold across the parameter space.
+
+use cfc_bounds::{ceil_div, ceil_log2, lemmas, log2, mutex, naming};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lower bounds never exceed upper bounds anywhere in the grid.
+    #[test]
+    fn lower_bounds_stay_below_upper_bounds(n_exp in 2u32..40, l in 1u32..17) {
+        let n = 1u64 << n_exp;
+        prop_assert!(mutex::thm1_step_lower(n, l) < mutex::thm3_step_upper(n, l) as f64);
+        prop_assert!(
+            mutex::thm2_register_lower(n, l) <= mutex::thm3_register_upper(n, l) as f64
+        );
+        // The integer versions respect the same ordering, with slack for
+        // the trivial-minimum clamps at tiny parameters.
+        prop_assert!(
+            mutex::thm1_step_lower_int(n, l) <= mutex::thm3_step_upper(n, l).max(2)
+        );
+    }
+
+    /// Theorem 1's bound decreases in `l` and increases in `n`.
+    #[test]
+    fn thm1_monotonicity(n_exp in 3u32..40, l in 1u32..16) {
+        let n = 1u64 << n_exp;
+        prop_assert!(mutex::thm1_step_lower(n, l) >= mutex::thm1_step_lower(n, l + 1));
+        prop_assert!(mutex::thm1_step_lower(2 * n, l) >= mutex::thm1_step_lower(n, l));
+    }
+
+    /// Theorem 2's bound decreases in `l` and increases in `n`.
+    #[test]
+    fn thm2_monotonicity(n_exp in 3u32..40, l in 1u32..16) {
+        let n = 1u64 << n_exp;
+        prop_assert!(mutex::thm2_register_lower(n, l) >= mutex::thm2_register_lower(n, l + 1));
+        prop_assert!(mutex::thm2_register_lower(2 * n, l) >= mutex::thm2_register_lower(n, l));
+    }
+
+    /// The register lower bound never exceeds the step lower bound's
+    /// integer form (register complexity <= step complexity).
+    #[test]
+    fn register_bound_below_step_upper(n_exp in 2u32..30, l in 1u32..10) {
+        let n = 1u64 << n_exp;
+        prop_assert!(
+            mutex::thm2_register_lower_int(n, l) <= mutex::thm3_step_upper(n, l).max(2)
+        );
+    }
+
+    /// Tournament geometry: capacity covers n, and depth shrinks with l.
+    #[test]
+    fn tournament_depth_consistency(n_exp in 1u32..30, l in 1u32..16) {
+        let n = (1u64 << n_exp).max(2);
+        let depth = mutex::tournament_depth(n, l);
+        let arity = mutex::tournament_arity(l);
+        // a^depth >= n and a^(depth-1) < n (when depth > 1).
+        prop_assert!(arity.saturating_pow(depth as u32) >= n);
+        if depth > 1 {
+            prop_assert!(arity.saturating_pow(depth as u32 - 1) < n);
+        }
+        prop_assert!(mutex::tournament_depth(n, l + 1) <= depth);
+    }
+
+    /// Lemma 3's LHS is monotone in every argument, so measured profiles
+    /// dominated by a satisfying profile also satisfy it.
+    #[test]
+    fn lemma3_monotone(l in 1u32..16, w in 1u64..40, r in 1u64..40) {
+        let base = lemmas::lemma3_lhs(l, w, r);
+        prop_assert!(lemmas::lemma3_lhs(l + 1, w, r) >= base);
+        prop_assert!(lemmas::lemma3_lhs(l, w + 1, r) >= base);
+        prop_assert!(lemmas::lemma3_lhs(l, w, r + 1) >= base);
+    }
+
+    /// Lemma 6's RHS is monotone in the profile.
+    #[test]
+    fn lemma6_monotone(l in 1u32..12, w in 1u64..20, c in 1u64..20) {
+        let base = lemmas::lemma6_rhs_log2(l, w, c);
+        prop_assert!(lemmas::lemma6_rhs_log2(l, w, c + 1) >= base);
+        prop_assert!(lemmas::lemma6_rhs_log2(l, w + 1, c) >= base);
+        prop_assert!(lemmas::lemma6_rhs_log2(l + 1, w, c) >= base);
+    }
+
+    /// log2(w!) matches the naive product in its stable range.
+    #[test]
+    fn log2_factorial_matches_product(w in 0u64..20) {
+        let direct: f64 = (1..=w).map(|k| k as f64).product::<f64>().log2();
+        let computed = lemmas::log2_factorial(w);
+        let direct = if w == 0 { 0.0 } else { direct };
+        prop_assert!((computed - direct).abs() < 1e-6, "{computed} vs {direct}");
+    }
+
+    /// ceil_log2 inverts exponentiation.
+    #[test]
+    fn ceil_log2_round_trip(n in 1u64..u64::MAX / 4) {
+        let k = ceil_log2(n);
+        prop_assert!(n <= 1u64.checked_shl(k).unwrap_or(u64::MAX));
+        if k > 0 {
+            prop_assert!(n > 1u64 << (k - 1));
+        }
+        prop_assert!((log2(n) - (n as f64).log2()).abs() < 1e-12);
+    }
+
+    /// ceil_div matches the definition.
+    #[test]
+    fn ceil_div_matches_definition(a in 0u64..1_000_000, b in 1u64..1_000) {
+        let q = ceil_div(a, b);
+        prop_assert!(q * b >= a);
+        prop_assert!(q.saturating_sub(1) * b < a || a == 0);
+    }
+
+    /// Naming bounds: cf <= wc within every column, and every bound is at
+    /// most n - 1.
+    #[test]
+    fn naming_table_internal_ordering(n_exp in 2u32..16) {
+        let n = 1u64 << n_exp;
+        for class in naming::ModelClass::ALL {
+            let cf_reg = naming::tight_bound(class, naming::Measure::CfRegister).eval(n);
+            let cf_step = naming::tight_bound(class, naming::Measure::CfStep).eval(n);
+            let wc_reg = naming::tight_bound(class, naming::Measure::WcRegister).eval(n);
+            let wc_step = naming::tight_bound(class, naming::Measure::WcStep).eval(n);
+            prop_assert!(cf_reg <= wc_reg);
+            prop_assert!(cf_step <= wc_step);
+            prop_assert!(cf_reg <= cf_step);
+            prop_assert!(wc_reg <= wc_step);
+            prop_assert!(wc_step < n);
+            // Theorem 5 floor:
+            prop_assert!(cf_reg >= naming::thm5_cf_register_lower(n).min(n - 1));
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The interleaving executor: produces runs of a system of processes.
+
+use std::fmt;
+
+use crate::error::ExecError;
+use crate::fault::FaultPlan;
+use crate::ids::ProcessId;
+use crate::memory::Memory;
+use crate::op::{OpResult, Step};
+use crate::process::{Process, Section};
+use crate::sched::{Scheduler, Sequential, Solo};
+use crate::trace::{Event, EventKind, Trace};
+use crate::value::Value;
+
+/// Execution limits and options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// The maximum number of events before the run is aborted with
+    /// [`ExecError::Budget`]. Guards against livelocks — which genuinely
+    /// exist in mutual-exclusion runs under unfair schedules.
+    pub max_events: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_events: 1_000_000,
+        }
+    }
+}
+
+/// The liveness status of a process within an execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Still taking steps.
+    Running,
+    /// Halted voluntarily ([`Step::Halt`]).
+    Done,
+    /// Suffered a stopping failure (crash).
+    Crashed,
+}
+
+/// Summary of a finished (or stopped) run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Every process is `Done` or `Crashed`.
+    pub quiescent: bool,
+    /// Number of events executed (excluding annotations).
+    pub events: u64,
+}
+
+/// Drives a set of processes over a shared [`Memory`] under a
+/// [`Scheduler`], recording a [`Trace`].
+///
+/// An `Executor` owns the system state. It can run to quiescence
+/// ([`Executor::run`]) or be single-stepped ([`Executor::step_process`])
+/// for fine-grained control (the model checker and the merge attack use
+/// single-stepping).
+pub struct Executor<P> {
+    memory: Memory,
+    procs: Vec<P>,
+    status: Vec<Status>,
+    steps_taken: Vec<u64>,
+    last_section: Vec<Option<Section>>,
+    trace: Trace,
+    faults: FaultPlan,
+    config: ExecConfig,
+    events: u64,
+}
+
+impl<P: fmt::Debug> fmt::Debug for Executor<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("memory", &self.memory)
+            .field("status", &self.status)
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Process> Executor<P> {
+    /// Creates an executor over `procs` sharing `memory`.
+    pub fn new(memory: Memory, procs: Vec<P>) -> Self {
+        let n = procs.len();
+        let mut exec = Executor {
+            memory,
+            procs,
+            status: vec![Status::Running; n],
+            steps_taken: vec![0; n],
+            last_section: vec![None; n],
+            trace: Trace::new(),
+            faults: FaultPlan::new(),
+            config: ExecConfig::default(),
+            events: 0,
+        };
+        // Record each process's initial section so metrics can attribute
+        // the very first accesses correctly.
+        for i in 0..n {
+            let pid = ProcessId::new(i as u32);
+            exec.note_section(pid);
+        }
+        exec
+    }
+
+    /// Sets the fault plan (crash injection).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets execution limits.
+    pub fn with_config(mut self, config: ExecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The number of processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Returns `true` if the executor has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// The shared memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the executor, returning the trace and final memory.
+    pub fn into_parts(self) -> (Trace, Memory, Vec<P>) {
+        (self.trace, self.memory, self.procs)
+    }
+
+    /// The status of a process.
+    pub fn status(&self, pid: ProcessId) -> Status {
+        self.status[pid.index()]
+    }
+
+    /// A shared reference to a process.
+    pub fn process(&self, pid: ProcessId) -> &P {
+        &self.procs[pid.index()]
+    }
+
+    /// The number of steps (events) a process has taken.
+    pub fn steps_taken(&self, pid: ProcessId) -> u64 {
+        self.steps_taken[pid.index()]
+    }
+
+    /// The outputs of all processes (index = process id).
+    pub fn outputs(&self) -> Vec<Option<Value>> {
+        self.procs.iter().map(Process::output).collect()
+    }
+
+    /// The ids of processes still running, in id order.
+    pub fn runnable(&self) -> Vec<ProcessId> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Running)
+            .map(|(i, _)| ProcessId::new(i as u32))
+            .collect()
+    }
+
+    /// Returns `true` when every process is done or crashed.
+    pub fn quiescent(&self) -> bool {
+        self.status.iter().all(|s| *s != Status::Running)
+    }
+
+    /// Executes one event of process `pid`.
+    ///
+    /// Applies the crash plan first: if `pid` is due to crash it is crashed
+    /// instead of stepping. A `Halt` step marks the process done.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `pid` is not runnable, if the event budget is
+    /// exhausted, or if the process issues an invalid memory operation.
+    pub fn step_process(&mut self, pid: ProcessId) -> Result<(), ExecError> {
+        let i = pid.index();
+        if self.status.get(i) != Some(&Status::Running) {
+            return Err(ExecError::NotRunnable(pid));
+        }
+        if self.events >= self.config.max_events {
+            return Err(ExecError::Budget {
+                events: self.events,
+            });
+        }
+        if self.faults.should_crash(pid, self.steps_taken[i]) {
+            self.status[i] = Status::Crashed;
+            self.trace.push(Event {
+                pid,
+                kind: EventKind::Crash,
+            });
+            return Ok(());
+        }
+        match self.procs[i].current() {
+            Step::Halt => {
+                self.status[i] = Status::Done;
+                self.trace.push(Event {
+                    pid,
+                    kind: EventKind::Done {
+                        output: self.procs[i].output(),
+                    },
+                });
+            }
+            Step::Internal => {
+                self.events += 1;
+                self.steps_taken[i] += 1;
+                self.procs[i].advance(OpResult::None);
+                self.trace.push(Event {
+                    pid,
+                    kind: EventKind::Internal,
+                });
+                self.note_section(pid);
+            }
+            Step::Op(op) => {
+                self.events += 1;
+                self.steps_taken[i] += 1;
+                let result = self.memory.apply(&op)?;
+                self.procs[i].advance(result.clone());
+                self.trace.push(Event {
+                    pid,
+                    kind: EventKind::Access { op, result },
+                });
+                self.note_section(pid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs under `sched` until quiescence, the scheduler stops, or the
+    /// budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Budget`] if the event budget runs out, or any
+    /// error from an invalid memory operation.
+    pub fn run<S: Scheduler>(&mut self, mut sched: S) -> Result<Outcome, ExecError> {
+        loop {
+            let runnable = self.runnable();
+            if runnable.is_empty() {
+                return Ok(Outcome {
+                    quiescent: true,
+                    events: self.events,
+                });
+            }
+            let Some(pid) = sched.pick(&runnable) else {
+                return Ok(Outcome {
+                    quiescent: false,
+                    events: self.events,
+                });
+            };
+            self.step_process(pid)?;
+        }
+    }
+
+    fn note_section(&mut self, pid: ProcessId) {
+        let current = self.procs[pid.index()].section();
+        if current != self.last_section[pid.index()] {
+            self.last_section[pid.index()] = current;
+            if let Some(section) = current {
+                self.trace.push(Event {
+                    pid,
+                    kind: EventKind::Section(section),
+                });
+            }
+        }
+    }
+}
+
+/// Runs a single process to completion on a fresh copy of `memory`.
+///
+/// This is the paper's contention-free run: the process executes with every
+/// other process in its remainder region. Returns the trace, the finished
+/// process, and the final memory.
+///
+/// # Errors
+///
+/// Propagates executor errors (budget exhaustion, invalid operations).
+pub fn run_solo<P: Process>(memory: Memory, proc_: P) -> Result<(Trace, P, Memory), ExecError> {
+    let mut exec = Executor::new(memory, vec![proc_]);
+    exec.run(Solo(ProcessId::new(0)))?;
+    let (trace, memory, mut procs) = exec.into_parts();
+    Ok((trace, procs.pop().expect("one process"), memory))
+}
+
+/// Runs every process to completion, one after another, in id order.
+///
+/// This produces the sequential contention-free runs used by the naming
+/// lower bounds (Theorems 5 and 7): when a process executes, every other
+/// process has either terminated or not started.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn run_sequential<P: Process>(
+    memory: Memory,
+    procs: Vec<P>,
+) -> Result<(Trace, Memory, Vec<P>), ExecError> {
+    let mut exec = Executor::new(memory, procs);
+    exec.run(Sequential)?;
+    let (trace, memory, procs) = exec.into_parts();
+    Ok((trace, memory, procs))
+}
+
+/// Runs processes under an arbitrary scheduler with optional faults,
+/// returning the executor for inspection.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn run_schedule<P: Process, S: Scheduler>(
+    memory: Memory,
+    procs: Vec<P>,
+    sched: S,
+    faults: FaultPlan,
+    config: ExecConfig,
+) -> Result<Executor<P>, ExecError> {
+    let mut exec = Executor::new(memory, procs)
+        .with_faults(faults)
+        .with_config(config);
+    exec.run(sched)?;
+    Ok(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::op::Op;
+    use crate::sched::RoundRobin;
+    use crate::RegisterId;
+
+    /// Increments a counter register `rounds` times, then halts with the
+    /// final observed value as output.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Incrementer {
+        reg: RegisterId,
+        rounds: u32,
+        pc: u8, // 0 = read, 1 = write, 2 = halt
+        seen: u64,
+    }
+
+    impl Incrementer {
+        fn new(reg: RegisterId, rounds: u32) -> Self {
+            Incrementer {
+                reg,
+                rounds,
+                pc: 0,
+                seen: 0,
+            }
+        }
+    }
+
+    impl Process for Incrementer {
+        fn current(&self) -> Step {
+            match self.pc {
+                0 => Step::Op(Op::Read(self.reg)),
+                1 => Step::Op(Op::Write(self.reg, Value::new(self.seen + 1))),
+                _ => Step::Halt,
+            }
+        }
+
+        fn advance(&mut self, result: OpResult) {
+            match self.pc {
+                0 => {
+                    self.seen = result.value().raw();
+                    self.pc = 1;
+                }
+                1 => {
+                    self.rounds -= 1;
+                    self.pc = if self.rounds == 0 { 2 } else { 0 };
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        fn output(&self) -> Option<Value> {
+            (self.pc == 2).then_some(Value::new(self.seen + 1))
+        }
+    }
+
+    fn counter_memory() -> (Memory, RegisterId) {
+        let mut layout = Layout::new();
+        let c = layout.register("count", 16, 0);
+        (Memory::new(layout, 16).unwrap(), c)
+    }
+
+    #[test]
+    fn solo_run_completes_and_counts() {
+        let (memory, c) = counter_memory();
+        let (trace, proc_, memory) = run_solo(memory, Incrementer::new(c, 3)).unwrap();
+        assert_eq!(memory.get(c), Value::new(3));
+        assert_eq!(proc_.output(), Some(Value::new(3)));
+        assert_eq!(trace.access_count(), 6);
+        assert_eq!(trace.output_of(ProcessId::new(0)), Some(Value::new(3)));
+    }
+
+    #[test]
+    fn sequential_runs_do_not_interleave() {
+        let (memory, c) = counter_memory();
+        let procs = vec![Incrementer::new(c, 2), Incrementer::new(c, 2)];
+        let (_, memory, procs) = run_sequential(memory, procs).unwrap();
+        // No lost updates in sequential composition.
+        assert_eq!(memory.get(c), Value::new(4));
+        assert_eq!(procs[0].output(), Some(Value::new(2)));
+        assert_eq!(procs[1].output(), Some(Value::new(4)));
+    }
+
+    #[test]
+    fn round_robin_interleaving_loses_updates() {
+        // The classic read/write race: both read 0, both write 1.
+        let (memory, c) = counter_memory();
+        let procs = vec![Incrementer::new(c, 1), Incrementer::new(c, 1)];
+        let mut exec = Executor::new(memory, procs);
+        exec.run(RoundRobin::new()).unwrap();
+        assert!(exec.quiescent());
+        assert_eq!(exec.memory().get(c), Value::new(1)); // lost update!
+    }
+
+    #[test]
+    fn budget_guards_against_runaway_runs() {
+        let (memory, c) = counter_memory();
+        let procs = vec![Incrementer::new(c, 1_000)];
+        let mut exec =
+            Executor::new(memory, procs).with_config(ExecConfig { max_events: 10 });
+        let err = exec.run(RoundRobin::new()).unwrap_err();
+        assert_eq!(err, ExecError::Budget { events: 10 });
+    }
+
+    #[test]
+    fn crash_plan_silences_process() {
+        let (memory, c) = counter_memory();
+        let procs = vec![Incrementer::new(c, 5), Incrementer::new(c, 1)];
+        let faults = FaultPlan::new().with_crash(ProcessId::new(0), 2);
+        let mut exec = Executor::new(memory, procs).with_faults(faults);
+        exec.run(RoundRobin::new()).unwrap();
+        assert_eq!(exec.status(ProcessId::new(0)), Status::Crashed);
+        assert_eq!(exec.status(ProcessId::new(1)), Status::Done);
+        assert_eq!(exec.steps_taken(ProcessId::new(0)), 2);
+        // The crash is visible in the trace.
+        assert!(exec
+            .trace()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Crash)));
+    }
+
+    #[test]
+    fn scheduler_stop_reports_non_quiescent() {
+        let (memory, c) = counter_memory();
+        let procs = vec![Incrementer::new(c, 5)];
+        let mut exec = Executor::new(memory, procs);
+        let outcome = exec.run(Solo(ProcessId::new(1))).unwrap(); // wrong pid: stops at once
+        assert!(!outcome.quiescent);
+        assert_eq!(outcome.events, 0);
+    }
+
+    #[test]
+    fn not_runnable_is_an_error() {
+        let (memory, c) = counter_memory();
+        let mut exec = Executor::new(memory, vec![Incrementer::new(c, 1)]);
+        assert!(exec.step_process(ProcessId::new(3)).is_err());
+    }
+
+    #[test]
+    fn done_event_carries_output() {
+        let (memory, c) = counter_memory();
+        let (trace, _, _) = run_solo(memory, Incrementer::new(c, 1)).unwrap();
+        let done = trace
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Done { .. }))
+            .unwrap();
+        assert_eq!(
+            done.kind,
+            EventKind::Done {
+                output: Some(Value::new(1))
+            }
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Crash (stopping-failure) injection for wait-freedom experiments.
+
+use std::collections::HashMap;
+
+use crate::ids::ProcessId;
+
+/// A plan of stopping failures: which processes crash, and when.
+///
+/// The naming problem (Section 3) requires *wait-free* solutions: every
+/// participating process terminates in a finite number of its own steps
+/// regardless of the behavior of others — including others crashing
+/// mid-protocol. A `FaultPlan` tells the executor to silence a process
+/// permanently after it has taken a given number of steps.
+///
+/// # Examples
+///
+/// ```
+/// use cfc_core::{FaultPlan, ProcessId};
+///
+/// let plan = FaultPlan::new().with_crash(ProcessId::new(1), 3);
+/// assert!(!plan.should_crash(ProcessId::new(1), 2));
+/// assert!(plan.should_crash(ProcessId::new(1), 3));
+/// assert!(!plan.should_crash(ProcessId::new(0), 3));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    crash_after: HashMap<ProcessId, u64>,
+}
+
+impl FaultPlan {
+    /// Creates a plan with no failures.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crash: `pid` fails permanently once it has taken `steps`
+    /// steps (so `steps = 0` means the process never takes a step).
+    pub fn with_crash(mut self, pid: ProcessId, steps: u64) -> Self {
+        self.crash_after.insert(pid, steps);
+        self
+    }
+
+    /// Returns `true` if the plan contains no failures.
+    pub fn is_empty(&self) -> bool {
+        self.crash_after.is_empty()
+    }
+
+    /// The number of planned failures.
+    pub fn len(&self) -> usize {
+        self.crash_after.len()
+    }
+
+    /// Should `pid` crash now, given it has taken `steps_taken` steps?
+    pub fn should_crash(&self, pid: ProcessId, steps_taken: u64) -> bool {
+        self.crash_after
+            .get(&pid)
+            .is_some_and(|&limit| steps_taken >= limit)
+    }
+
+    /// The step budget after which `pid` crashes, if planned.
+    pub fn crash_point(&self, pid: ProcessId) -> Option<u64> {
+        self.crash_after.get(&pid).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_crashes() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert!(!plan.should_crash(ProcessId::new(0), 1_000_000));
+    }
+
+    #[test]
+    fn crash_at_zero_steps_is_immediate() {
+        let plan = FaultPlan::new().with_crash(ProcessId::new(2), 0);
+        assert!(plan.should_crash(ProcessId::new(2), 0));
+        assert_eq!(plan.crash_point(ProcessId::new(2)), Some(0));
+        assert_eq!(plan.crash_point(ProcessId::new(1)), None);
+    }
+
+    #[test]
+    fn later_crashes_trigger_at_threshold() {
+        let plan = FaultPlan::new()
+            .with_crash(ProcessId::new(0), 5)
+            .with_crash(ProcessId::new(1), 7);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.should_crash(ProcessId::new(0), 4));
+        assert!(plan.should_crash(ProcessId::new(0), 5));
+        assert!(plan.should_crash(ProcessId::new(0), 6));
+        assert!(!plan.should_crash(ProcessId::new(1), 6));
+    }
+}

@@ -1,0 +1,421 @@
+//! The four complexity measures of the paper, computed from traces.
+//!
+//! *Step complexity* counts accesses to shared registers; *register
+//! complexity* counts **distinct** shared registers accessed (a lower bound
+//! on remote accesses under coherent caching, Section 1.2). Both come in
+//! *worst-case* and *contention-free* flavors: the former maximizes over
+//! all runs, the latter over runs in which the measured process executes
+//! without interference.
+//!
+//! This module computes the measures for a *given* trace; the
+//! contention-free/worst-case distinction is realized by how the trace was
+//! produced (solo/sequential runs vs. adversarial or explored schedules —
+//! see [`run_solo`](crate::run_solo), [`run_sequential`](crate::run_sequential)
+//! and `cfc-verify`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ids::{ProcessId, RegisterId};
+use crate::layout::Layout;
+use crate::op::AccessClass;
+use crate::process::Section;
+use crate::trace::{Event, EventKind, Trace};
+
+/// The access-count profile of one process over some window of a run.
+///
+/// `steps = read_steps + write_steps + rmw_steps`; the paper's *read-step
+/// complexity* is `read_steps + rmw_steps` and *write-step complexity* is
+/// `write_steps + rmw_steps` (a read–modify–write both reads and writes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Complexity {
+    /// Total accesses to shared registers (step complexity).
+    pub steps: u64,
+    /// Accesses that only read.
+    pub read_steps: u64,
+    /// Accesses that only write.
+    pub write_steps: u64,
+    /// Accesses that atomically read and write (bit RMW operations).
+    pub rmw_steps: u64,
+    /// Distinct registers accessed (register complexity).
+    pub registers: u64,
+    /// Distinct registers read (including RMW accesses).
+    pub read_registers: u64,
+    /// Distinct registers written (including RMW accesses).
+    pub write_registers: u64,
+    /// Total shared *bits* accessed: each access to an `w`-bit register
+    /// counts `w` (the corollary to Theorem 1 is stated in these units).
+    pub bit_accesses: u64,
+}
+
+impl Complexity {
+    /// The paper's read-step complexity: steps that observe memory.
+    pub fn read_step_complexity(&self) -> u64 {
+        self.read_steps + self.rmw_steps
+    }
+
+    /// The paper's write-step complexity: steps that mutate memory.
+    pub fn write_step_complexity(&self) -> u64 {
+        self.write_steps + self.rmw_steps
+    }
+
+    /// Field-wise maximum, used to aggregate worst cases across runs.
+    pub fn max_fields(self, other: Complexity) -> Complexity {
+        Complexity {
+            steps: self.steps.max(other.steps),
+            read_steps: self.read_steps.max(other.read_steps),
+            write_steps: self.write_steps.max(other.write_steps),
+            rmw_steps: self.rmw_steps.max(other.rmw_steps),
+            registers: self.registers.max(other.registers),
+            read_registers: self.read_registers.max(other.read_registers),
+            write_registers: self.write_registers.max(other.write_registers),
+            bit_accesses: self.bit_accesses.max(other.bit_accesses),
+        }
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "steps={} (r={}, w={}, rmw={}), registers={} (r={}, w={}), bits={}",
+            self.steps,
+            self.read_steps,
+            self.write_steps,
+            self.rmw_steps,
+            self.registers,
+            self.read_registers,
+            self.write_registers,
+            self.bit_accesses
+        )
+    }
+}
+
+/// Incremental accumulator for a [`Complexity`] profile.
+#[derive(Clone, Debug, Default)]
+pub struct ComplexityAccumulator {
+    counts: Complexity,
+    touched: BTreeSet<RegisterId>,
+    read: BTreeSet<RegisterId>,
+    written: BTreeSet<RegisterId>,
+}
+
+impl ComplexityAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access event.
+    pub fn record(&mut self, layout: &Layout, event: &Event) {
+        if let EventKind::Access { op, .. } = &event.kind {
+            let class = op.class();
+            self.counts.steps += 1;
+            match class {
+                AccessClass::Read => self.counts.read_steps += 1,
+                AccessClass::Write => self.counts.write_steps += 1,
+                AccessClass::ReadWrite => self.counts.rmw_steps += 1,
+            }
+            self.counts.bit_accesses += op.bit_width(layout);
+            for r in op.registers(layout) {
+                self.touched.insert(r);
+                if class.reads() {
+                    self.read.insert(r);
+                }
+                if class.writes() {
+                    self.written.insert(r);
+                }
+            }
+        }
+    }
+
+    /// The distinct registers accessed so far, in id order.
+    pub fn registers(&self) -> impl Iterator<Item = RegisterId> + '_ {
+        self.touched.iter().copied()
+    }
+
+    /// Finalizes the profile.
+    pub fn finish(&self) -> Complexity {
+        Complexity {
+            registers: self.touched.len() as u64,
+            read_registers: self.read.len() as u64,
+            write_registers: self.written.len() as u64,
+            ..self.counts
+        }
+    }
+}
+
+/// The complexity of one process over an entire trace.
+pub fn process_complexity(trace: &Trace, layout: &Layout, pid: ProcessId) -> Complexity {
+    let mut acc = ComplexityAccumulator::new();
+    for e in trace.iter().filter(|e| e.pid == pid) {
+        acc.record(layout, e);
+    }
+    acc.finish()
+}
+
+/// The complexity of every process over an entire trace.
+pub fn all_process_complexities(trace: &Trace, layout: &Layout, n: usize) -> Vec<Complexity> {
+    let mut accs: Vec<ComplexityAccumulator> =
+        (0..n).map(|_| ComplexityAccumulator::new()).collect();
+    for e in trace.iter() {
+        if let Some(acc) = accs.get_mut(e.pid.index()) {
+            acc.record(layout, e);
+        }
+    }
+    accs.iter().map(ComplexityAccumulator::finish).collect()
+}
+
+/// The complexity of one mutual-exclusion *trip* (entry code + exit code).
+///
+/// Per Section 2.2, the step (register) complexity of a mutual-exclusion
+/// algorithm sums the entry-code and exit-code contributions; critical
+/// section and remainder events are excluded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TripComplexity {
+    /// Accesses made while in the entry section.
+    pub entry: Complexity,
+    /// Accesses made while in the exit section.
+    pub exit: Complexity,
+    /// Combined entry + exit profile, with register sets unioned (a
+    /// register accessed in both entry and exit counts once).
+    pub total: Complexity,
+}
+
+/// Splits a process's run into trips and measures each (entry + exit).
+///
+/// Section annotations recorded by the executor delimit the windows: a trip
+/// starts when the process's section becomes [`Section::Entry`] and ends
+/// when it leaves [`Section::Exit`]. Incomplete final trips (process still
+/// competing when the trace ends) are not reported.
+pub fn trip_complexities(trace: &Trace, layout: &Layout, pid: ProcessId) -> Vec<TripComplexity> {
+    let mut trips = Vec::new();
+    let mut section = Section::Remainder;
+    let mut entry_acc = ComplexityAccumulator::new();
+    let mut exit_acc = ComplexityAccumulator::new();
+    let mut total_acc = ComplexityAccumulator::new();
+    let mut in_trip = false;
+
+    for e in trace.iter().filter(|e| e.pid == pid) {
+        match &e.kind {
+            EventKind::Section(s) => {
+                let left_exit = section == Section::Exit && *s != Section::Exit;
+                section = *s;
+                if left_exit && in_trip {
+                    trips.push(TripComplexity {
+                        entry: entry_acc.finish(),
+                        exit: exit_acc.finish(),
+                        total: total_acc.finish(),
+                    });
+                    entry_acc = ComplexityAccumulator::new();
+                    exit_acc = ComplexityAccumulator::new();
+                    total_acc = ComplexityAccumulator::new();
+                    in_trip = false;
+                }
+                if section == Section::Entry {
+                    in_trip = true;
+                }
+            }
+            EventKind::Access { .. } => match section {
+                Section::Entry => {
+                    entry_acc.record(layout, e);
+                    total_acc.record(layout, e);
+                }
+                Section::Exit => {
+                    exit_acc.record(layout, e);
+                    total_acc.record(layout, e);
+                }
+                Section::Critical | Section::Remainder => {}
+            },
+            _ => {}
+        }
+    }
+    trips
+}
+
+/// The worst (field-wise maximum) trip complexity of a process, if it
+/// completed at least one trip.
+pub fn worst_trip(trace: &Trace, layout: &Layout, pid: ProcessId) -> Option<TripComplexity> {
+    trip_complexities(trace, layout, pid)
+        .into_iter()
+        .reduce(|a, b| TripComplexity {
+            entry: a.entry.max_fields(b.entry),
+            exit: a.exit.max_fields(b.exit),
+            total: a.total.max_fields(b.total),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitop::BitOp;
+    use crate::op::{Op, OpResult};
+    use crate::value::Value;
+
+    fn layout3() -> Layout {
+        let mut layout = Layout::new();
+        layout.register("x", 4, 0);
+        layout.register("y", 4, 0);
+        layout.bit("b", false);
+        layout
+    }
+
+    fn ev(pid: u32, op: Op) -> Event {
+        Event {
+            pid: ProcessId::new(pid),
+            kind: EventKind::Access {
+                op,
+                result: OpResult::None,
+            },
+        }
+    }
+
+    fn sec(pid: u32, s: Section) -> Event {
+        Event {
+            pid: ProcessId::new(pid),
+            kind: EventKind::Section(s),
+        }
+    }
+
+    #[test]
+    fn counts_steps_and_registers() {
+        let layout = layout3();
+        let x = RegisterId::new(0);
+        let y = RegisterId::new(1);
+        let b = RegisterId::new(2);
+        let mut t = Trace::new();
+        t.push(ev(0, Op::Read(x)));
+        t.push(ev(0, Op::Read(x)));
+        t.push(ev(0, Op::Write(y, Value::ONE)));
+        t.push(ev(0, Op::Bit(b, BitOp::TestAndSet)));
+        t.push(ev(1, Op::Read(y))); // other process, ignored
+
+        let c = process_complexity(&t, &layout, ProcessId::new(0));
+        assert_eq!(c.steps, 4);
+        assert_eq!(c.read_steps, 2);
+        assert_eq!(c.write_steps, 1);
+        assert_eq!(c.rmw_steps, 1);
+        assert_eq!(c.registers, 3);
+        assert_eq!(c.read_registers, 2); // x (reads) + b (rmw)
+        assert_eq!(c.write_registers, 2); // y (write) + b (rmw)
+        assert_eq!(c.read_step_complexity(), 3);
+        assert_eq!(c.write_step_complexity(), 2);
+        assert_eq!(c.bit_accesses, 4 + 4 + 4 + 1);
+    }
+
+    #[test]
+    fn register_complexity_counts_distinct() {
+        let layout = layout3();
+        let x = RegisterId::new(0);
+        let mut t = Trace::new();
+        for _ in 0..10 {
+            t.push(ev(0, Op::Read(x)));
+        }
+        let c = process_complexity(&t, &layout, ProcessId::new(0));
+        assert_eq!(c.steps, 10);
+        assert_eq!(c.registers, 1);
+    }
+
+    #[test]
+    fn trip_windows_exclude_critical_section() {
+        let layout = layout3();
+        let x = RegisterId::new(0);
+        let y = RegisterId::new(1);
+        let mut t = Trace::new();
+        t.push(sec(0, Section::Entry));
+        t.push(ev(0, Op::Read(x)));
+        t.push(ev(0, Op::Write(x, Value::ONE)));
+        t.push(sec(0, Section::Critical));
+        t.push(ev(0, Op::Read(y))); // CS access: excluded
+        t.push(sec(0, Section::Exit));
+        t.push(ev(0, Op::Write(x, Value::ZERO)));
+        t.push(sec(0, Section::Remainder));
+
+        let trips = trip_complexities(&t, &layout, ProcessId::new(0));
+        assert_eq!(trips.len(), 1);
+        let trip = trips[0];
+        assert_eq!(trip.entry.steps, 2);
+        assert_eq!(trip.exit.steps, 1);
+        assert_eq!(trip.total.steps, 3);
+        // x touched in both entry and exit counts once in the union.
+        assert_eq!(trip.total.registers, 1);
+    }
+
+    #[test]
+    fn multiple_trips_are_split() {
+        let layout = layout3();
+        let x = RegisterId::new(0);
+        let mut t = Trace::new();
+        for _ in 0..2 {
+            t.push(sec(0, Section::Entry));
+            t.push(ev(0, Op::Read(x)));
+            t.push(sec(0, Section::Critical));
+            t.push(sec(0, Section::Exit));
+            t.push(ev(0, Op::Write(x, Value::ZERO)));
+            t.push(sec(0, Section::Remainder));
+        }
+        let trips = trip_complexities(&t, &layout, ProcessId::new(0));
+        assert_eq!(trips.len(), 2);
+        assert!(trips.iter().all(|tr| tr.total.steps == 2));
+        let worst = worst_trip(&t, &layout, ProcessId::new(0)).unwrap();
+        assert_eq!(worst.total.steps, 2);
+    }
+
+    #[test]
+    fn exit_to_entry_transition_closes_trip() {
+        // Back-to-back trips without an intervening remainder section.
+        let layout = layout3();
+        let x = RegisterId::new(0);
+        let mut t = Trace::new();
+        t.push(sec(0, Section::Entry));
+        t.push(ev(0, Op::Read(x)));
+        t.push(sec(0, Section::Exit));
+        t.push(sec(0, Section::Entry)); // second trip begins immediately
+        t.push(ev(0, Op::Read(x)));
+        t.push(sec(0, Section::Exit));
+        t.push(sec(0, Section::Remainder));
+        let trips = trip_complexities(&t, &layout, ProcessId::new(0));
+        assert_eq!(trips.len(), 2);
+    }
+
+    #[test]
+    fn incomplete_trip_not_reported() {
+        let layout = layout3();
+        let x = RegisterId::new(0);
+        let mut t = Trace::new();
+        t.push(sec(0, Section::Entry));
+        t.push(ev(0, Op::Read(x)));
+        let trips = trip_complexities(&t, &layout, ProcessId::new(0));
+        assert!(trips.is_empty());
+    }
+
+    #[test]
+    fn max_fields_is_fieldwise() {
+        let a = Complexity {
+            steps: 5,
+            registers: 1,
+            ..Default::default()
+        };
+        let b = Complexity {
+            steps: 3,
+            registers: 4,
+            ..Default::default()
+        };
+        let m = a.max_fields(b);
+        assert_eq!(m.steps, 5);
+        assert_eq!(m.registers, 4);
+    }
+
+    #[test]
+    fn all_process_complexities_indexes_by_pid() {
+        let layout = layout3();
+        let x = RegisterId::new(0);
+        let mut t = Trace::new();
+        t.push(ev(0, Op::Read(x)));
+        t.push(ev(1, Op::Read(x)));
+        t.push(ev(1, Op::Read(x)));
+        let all = all_process_complexities(&t, &layout, 2);
+        assert_eq!(all[0].steps, 1);
+        assert_eq!(all[1].steps, 2);
+    }
+}

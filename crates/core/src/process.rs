@@ -1,0 +1,139 @@
+//! The process abstraction: algorithms as explicit state machines.
+
+use std::fmt;
+
+use crate::op::{OpResult, Step};
+use crate::value::Value;
+
+/// The region a mutual-exclusion participant currently occupies.
+///
+/// The paper's complexity definitions for mutual exclusion (Section 2.2)
+/// are stated in terms of these regions: complexity is measured over the
+/// *entry code* and *exit code*, never the critical section or remainder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Section {
+    /// The process is not competing.
+    #[default]
+    Remainder,
+    /// The process is executing its entry code (trying to enter).
+    Entry,
+    /// The process is inside its critical section.
+    Critical,
+    /// The process is executing its exit code (releasing).
+    Exit,
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Section::Remainder => "remainder",
+            Section::Entry => "entry",
+            Section::Critical => "critical",
+            Section::Exit => "exit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A process of the paper's model: a (possibly infinite) state machine that
+/// communicates only through shared registers.
+///
+/// The executor drives a process with a *peek/advance* protocol:
+///
+/// 1. [`Process::current`] returns the next atomic step the process wants
+///    to take. It must be **pure and deterministic** — calling it any
+///    number of times without an intervening `advance` must return the same
+///    step and must not change observable state. (The model checker in
+///    `cfc-verify` relies on this to enumerate interleavings.)
+/// 2. If the step is an operation, the executor applies it to shared memory
+///    and passes the result to [`Process::advance`], which moves the state
+///    machine forward. For [`Step::Internal`], `advance` is called with
+///    [`OpResult::None`]. For [`Step::Halt`], `advance` is never called
+///    again.
+///
+/// One `current`/`advance` round is exactly one *event* of the paper's run
+/// semantics.
+pub trait Process {
+    /// The next atomic step this process wishes to take.
+    fn current(&self) -> Step;
+
+    /// Advances the state machine with the result of the step returned by
+    /// the last call to [`Process::current`].
+    fn advance(&mut self, result: OpResult);
+
+    /// The process's decision value, once it has halted.
+    ///
+    /// Contention-detection processes output `0`/`1`; naming processes
+    /// output their name. Defaults to `None` for processes without outputs.
+    fn output(&self) -> Option<Value> {
+        None
+    }
+
+    /// The mutual-exclusion section this process currently occupies, if the
+    /// process participates in a mutual-exclusion protocol.
+    ///
+    /// The executor records a [`Section`](crate::EventKind::Section) event
+    /// whenever the reported section changes; metrics use those markers to
+    /// delimit entry/exit windows. Defaults to `None` for processes without
+    /// sections (naming, detection).
+    fn section(&self) -> Option<Section> {
+        None
+    }
+}
+
+impl<P: Process + ?Sized> Process for Box<P> {
+    fn current(&self) -> Step {
+        (**self).current()
+    }
+
+    fn advance(&mut self, result: OpResult) {
+        (**self).advance(result)
+    }
+
+    fn output(&self) -> Option<Value> {
+        (**self).output()
+    }
+
+    fn section(&self) -> Option<Section> {
+        (**self).section()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Step;
+
+    #[derive(Clone)]
+    struct Halter;
+
+    impl Process for Halter {
+        fn current(&self) -> Step {
+            Step::Halt
+        }
+        fn advance(&mut self, _: OpResult) {
+            unreachable!("halted process is never advanced")
+        }
+    }
+
+    #[test]
+    fn default_accessors_are_none() {
+        let p = Halter;
+        assert!(p.output().is_none());
+        assert!(p.section().is_none());
+    }
+
+    #[test]
+    fn boxed_process_delegates() {
+        let p: Box<dyn Process> = Box::new(Halter);
+        assert_eq!(p.current(), Step::Halt);
+        assert!(p.output().is_none());
+    }
+
+    #[test]
+    fn section_display() {
+        assert_eq!(Section::Entry.to_string(), "entry");
+        assert_eq!(Section::Critical.to_string(), "critical");
+        assert_eq!(Section::default(), Section::Remainder);
+    }
+}

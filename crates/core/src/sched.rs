@@ -1,0 +1,287 @@
+//! Schedulers: who takes the next step.
+//!
+//! The paper's model is fully asynchronous — a run is *any* interleaving of
+//! process steps. A [`Scheduler`] realizes one interleaving policy:
+//!
+//! * [`Solo`] and [`Sequential`] produce the contention-free runs over
+//!   which contention-free complexity is defined.
+//! * [`RoundRobin`] and [`Lockstep`] are the fair schedules used for
+//!   progress experiments and for the Theorem 6 adversary.
+//! * [`RandomSched`] drives randomized stress tests.
+//! * [`FixedOrder`] replays a scripted interleaving (used by the Lemma 2
+//!   merge attack in `cfc-verify`).
+
+use rand::Rng;
+
+use crate::ids::ProcessId;
+
+/// Chooses which runnable process takes the next step.
+pub trait Scheduler {
+    /// Picks one of the `runnable` processes, or `None` to stop the run.
+    ///
+    /// `runnable` is never empty and is sorted by process id.
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId>;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId> {
+        (**self).pick(runnable)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId> {
+        (**self).pick(runnable)
+    }
+}
+
+/// Schedules a single process and stops when it is not runnable.
+///
+/// Running one process in isolation produces the runs over which
+/// contention-free complexity is defined (all other processes remain in
+/// their remainder regions / have not started).
+#[derive(Clone, Copy, Debug)]
+pub struct Solo(pub ProcessId);
+
+impl Scheduler for Solo {
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId> {
+        runnable.contains(&self.0).then_some(self.0)
+    }
+}
+
+/// Runs each process to completion in id order.
+///
+/// This is the canonical contention-free schedule for naming (Theorems 5
+/// and 7): every process executes while all others have either terminated
+/// or not started.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sequential;
+
+impl Scheduler for Sequential {
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId> {
+        runnable.first().copied()
+    }
+}
+
+/// Fair round-robin: cycles through runnable processes.
+///
+/// Because our model expresses waiting as busy-wait steps, round-robin is a
+/// (weakly) fair schedule: every non-halted process keeps taking steps.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin {
+    cursor: u32,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting at process 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId> {
+        // Pick the first runnable pid strictly greater than the last pick,
+        // wrapping around.
+        let next = runnable
+            .iter()
+            .find(|p| p.index() as u32 >= self.cursor)
+            .or_else(|| runnable.first())
+            .copied()?;
+        self.cursor = next.index() as u32 + 1;
+        Some(next)
+    }
+}
+
+/// Lockstep rounds: in each round, every process runnable at the start of
+/// the round takes exactly one step, in id order.
+///
+/// This is the adversary of Theorem 6: identical processes driven in
+/// lockstep stay identical as long as they receive identical responses,
+/// forcing the worst-case `n − 1` step complexity for naming without
+/// `test-and-flip`.
+#[derive(Clone, Debug, Default)]
+pub struct Lockstep {
+    round: Vec<ProcessId>,
+}
+
+impl Lockstep {
+    /// Creates a lockstep scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for Lockstep {
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId> {
+        loop {
+            match self.round.pop() {
+                Some(p) if runnable.contains(&p) => return Some(p),
+                Some(_) => continue, // halted mid-round; skip
+                None => {
+                    // Start a new round; reversed so `pop` yields id order.
+                    self.round = runnable.iter().rev().copied().collect();
+                }
+            }
+        }
+    }
+}
+
+/// Uniformly random scheduling.
+#[derive(Clone, Debug)]
+pub struct RandomSched<R> {
+    rng: R,
+}
+
+impl<R: Rng> RandomSched<R> {
+    /// Creates a random scheduler from an RNG.
+    pub fn new(rng: R) -> Self {
+        RandomSched { rng }
+    }
+}
+
+impl<R: Rng> Scheduler for RandomSched<R> {
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId> {
+        let i = self.rng.gen_range(0..runnable.len());
+        Some(runnable[i])
+    }
+}
+
+/// Replays a scripted sequence of process ids.
+///
+/// After the script is exhausted the scheduler either stops (default) or
+/// falls back to round-robin if constructed with [`FixedOrder::then_fair`].
+/// Script entries that are not currently runnable are skipped.
+#[derive(Clone, Debug)]
+pub struct FixedOrder {
+    script: std::collections::VecDeque<ProcessId>,
+    fallback: Option<RoundRobin>,
+}
+
+impl FixedOrder {
+    /// Creates a scheduler that replays `script` and then stops.
+    pub fn new(script: impl IntoIterator<Item = ProcessId>) -> Self {
+        FixedOrder {
+            script: script.into_iter().collect(),
+            fallback: None,
+        }
+    }
+
+    /// Creates a scheduler that replays `script` and then continues fairly.
+    pub fn then_fair(script: impl IntoIterator<Item = ProcessId>) -> Self {
+        FixedOrder {
+            script: script.into_iter().collect(),
+            fallback: Some(RoundRobin::new()),
+        }
+    }
+
+    /// The number of unconsumed script entries.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Scheduler for FixedOrder {
+    fn pick(&mut self, runnable: &[ProcessId]) -> Option<ProcessId> {
+        while let Some(p) = self.script.pop_front() {
+            if runnable.contains(&p) {
+                return Some(p);
+            }
+        }
+        match &mut self.fallback {
+            Some(rr) => rr.pick(runnable),
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ids: &[u32]) -> Vec<ProcessId> {
+        ids.iter().map(|&i| ProcessId::new(i)).collect()
+    }
+
+    #[test]
+    fn solo_only_schedules_its_process() {
+        let mut s = Solo(ProcessId::new(1));
+        assert_eq!(s.pick(&pids(&[0, 1, 2])), Some(ProcessId::new(1)));
+        assert_eq!(s.pick(&pids(&[0, 2])), None);
+    }
+
+    #[test]
+    fn sequential_prefers_lowest_id() {
+        let mut s = Sequential;
+        assert_eq!(s.pick(&pids(&[2, 3])), Some(ProcessId::new(2)));
+        assert_eq!(s.pick(&pids(&[0, 3])), Some(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::new();
+        let r = pids(&[0, 1, 2]);
+        let picks: Vec<_> = (0..6).map(|_| s.pick(&r).unwrap().index()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_halted() {
+        let mut s = RoundRobin::new();
+        assert_eq!(s.pick(&pids(&[0, 1, 2])), Some(ProcessId::new(0)));
+        // Process 1 halts; next pick should be 2, not 1.
+        assert_eq!(s.pick(&pids(&[0, 2])), Some(ProcessId::new(2)));
+        assert_eq!(s.pick(&pids(&[0, 2])), Some(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn lockstep_gives_one_step_per_round() {
+        let mut s = Lockstep::new();
+        let r = pids(&[0, 1, 2]);
+        let picks: Vec<_> = (0..6).map(|_| s.pick(&r).unwrap().index()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn lockstep_handles_mid_round_halts() {
+        let mut s = Lockstep::new();
+        assert_eq!(s.pick(&pids(&[0, 1, 2])), Some(ProcessId::new(0)));
+        // 1 halted: the rest of the round is 2 only.
+        assert_eq!(s.pick(&pids(&[0, 2])), Some(ProcessId::new(2)));
+        // New round over the survivors.
+        assert_eq!(s.pick(&pids(&[0, 2])), Some(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn fixed_order_replays_then_stops() {
+        let mut s = FixedOrder::new(pids(&[1, 0, 1]));
+        let r = pids(&[0, 1]);
+        assert_eq!(s.pick(&r), Some(ProcessId::new(1)));
+        assert_eq!(s.pick(&r), Some(ProcessId::new(0)));
+        assert_eq!(s.pick(&r), Some(ProcessId::new(1)));
+        assert_eq!(s.pick(&r), None);
+    }
+
+    #[test]
+    fn fixed_order_skips_unrunnable_and_falls_back() {
+        let mut s = FixedOrder::then_fair(pids(&[5, 1]));
+        let r = pids(&[0, 1]);
+        // 5 is not runnable; script advances to 1.
+        assert_eq!(s.pick(&r), Some(ProcessId::new(1)));
+        // Script exhausted; fair fallback takes over.
+        assert!(s.pick(&r).is_some());
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn random_sched_picks_runnable() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut s = RandomSched::new(StdRng::seed_from_u64(7));
+        let r = pids(&[3, 4]);
+        for _ in 0..20 {
+            let p = s.pick(&r).unwrap();
+            assert!(r.contains(&p));
+        }
+    }
+}

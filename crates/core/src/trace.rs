@@ -1,0 +1,242 @@
+//! Run traces: the recorded event sequence of an execution.
+
+use std::fmt;
+
+use crate::ids::ProcessId;
+use crate::op::{Op, OpResult};
+use crate::process::Section;
+use crate::value::Value;
+
+/// What happened in one event of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The process accessed shared memory.
+    Access {
+        /// The operation performed.
+        op: Op,
+        /// The value(s) it returned.
+        result: OpResult,
+    },
+    /// The process performed local computation only.
+    Internal,
+    /// The process's mutual-exclusion section changed (annotation emitted
+    /// by the executor after the event that caused the change; a marker,
+    /// not a step).
+    Section(Section),
+    /// The process crashed (stopping failure) and takes no further steps.
+    Crash,
+    /// The process halted, with its decision value if any.
+    Done {
+        /// The process's output (e.g. a name, or a detector's 0/1).
+        output: Option<Value>,
+    },
+}
+
+/// One event of a run: a step (or annotation) belonging to one process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The process this event belongs to.
+    pub pid: ProcessId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Returns the access operation if this event is a shared-memory access.
+    pub fn access(&self) -> Option<(&Op, &OpResult)> {
+        match &self.kind {
+            EventKind::Access { op, result } => Some((op, result)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            EventKind::Access { op, result } => match result {
+                OpResult::None => write!(f, "{}: {}", self.pid, op),
+                OpResult::Value(v) => write!(f, "{}: {} -> {}", self.pid, op, v),
+                OpResult::Values(vs) => {
+                    write!(f, "{}: {} ->", self.pid, op)?;
+                    for v in vs {
+                        write!(f, " {v}")?;
+                    }
+                    Ok(())
+                }
+            },
+            EventKind::Internal => write!(f, "{}: (internal)", self.pid),
+            EventKind::Section(s) => write!(f, "{}: [section {s}]", self.pid),
+            EventKind::Crash => write!(f, "{}: CRASH", self.pid),
+            EventKind::Done { output: Some(v) } => write!(f, "{}: done -> {}", self.pid, v),
+            EventKind::Done { output: None } => write!(f, "{}: done", self.pid),
+        }
+    }
+}
+
+/// The recorded event sequence of a run.
+///
+/// A `Trace` is what the complexity metrics in [`metrics`](crate::metrics)
+/// consume: step and register complexity of a process are functions of the
+/// access events belonging to it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// The number of recorded events (including annotations).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates over all events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The number of shared-memory access events (across all processes).
+    pub fn access_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Access { .. }))
+            .count()
+    }
+
+    /// Iterates over the access events of one process.
+    pub fn accesses_by(&self, pid: ProcessId) -> impl Iterator<Item = (&Op, &OpResult)> {
+        self.events
+            .iter()
+            .filter(move |e| e.pid == pid)
+            .filter_map(|e| e.access())
+    }
+
+    /// The output value recorded in a process's `Done` event, if present.
+    pub fn output_of(&self, pid: ProcessId) -> Option<Value> {
+        self.events.iter().rev().find_map(|e| {
+            if e.pid == pid {
+                if let EventKind::Done { output } = e.kind {
+                    return output;
+                }
+            }
+            None
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            writeln!(f, "{i:>5}  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Event> for Trace {
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RegisterId;
+
+    fn access(pid: u32, reg: u32) -> Event {
+        Event {
+            pid: ProcessId::new(pid),
+            kind: EventKind::Access {
+                op: Op::Read(RegisterId::new(reg)),
+                result: OpResult::Value(Value::ZERO),
+            },
+        }
+    }
+
+    #[test]
+    fn counts_accesses() {
+        let mut t = Trace::new();
+        t.push(access(0, 0));
+        t.push(Event {
+            pid: ProcessId::new(0),
+            kind: EventKind::Internal,
+        });
+        t.push(access(1, 1));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.access_count(), 2);
+        assert_eq!(t.accesses_by(ProcessId::new(0)).count(), 1);
+    }
+
+    #[test]
+    fn output_of_finds_done_event() {
+        let mut t = Trace::new();
+        t.push(Event {
+            pid: ProcessId::new(2),
+            kind: EventKind::Done {
+                output: Some(Value::new(7)),
+            },
+        });
+        assert_eq!(t.output_of(ProcessId::new(2)), Some(Value::new(7)));
+        assert_eq!(t.output_of(ProcessId::new(0)), None);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: Trace = vec![access(0, 0), access(0, 1)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        let mut t2 = Trace::new();
+        t2.extend(t.iter().cloned());
+        assert_eq!(t2, t);
+    }
+
+    #[test]
+    fn display_renders_each_event() {
+        let mut t = Trace::new();
+        t.push(access(0, 3));
+        t.push(Event {
+            pid: ProcessId::new(1),
+            kind: EventKind::Crash,
+        });
+        let s = t.to_string();
+        assert!(s.contains("read(r3)"));
+        assert!(s.contains("CRASH"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Traits tying mutual-exclusion algorithms to the execution model.
+
+use cfc_core::{Layout, Memory, MemoryError, OpResult, Process, ProcessId, Section, Step};
+
+/// The entry/exit state machine of one mutual-exclusion participant.
+///
+/// A `LockProcess` exposes the algorithm's *entry code* and *exit code* as
+/// two resumable phases. Within a phase it follows the same peek/advance
+/// protocol as [`Process`]; [`Step::Halt`] signals that the current phase
+/// has completed (the process is at the critical-section boundary after
+/// entry, or back at the remainder boundary after exit).
+///
+/// Lock processes are composable: the tournament construction of Theorem 3
+/// treats each tree node as a nested `LockProcess`.
+pub trait LockProcess {
+    /// Resets the state machine to the start of the entry code.
+    fn begin_entry(&mut self);
+
+    /// Resets the state machine to the start of the exit code.
+    ///
+    /// Callers invoke this only after the entry phase has completed (the
+    /// process holds the lock).
+    fn begin_exit(&mut self);
+
+    /// The next step of the current phase; [`Step::Halt`] when the phase is
+    /// complete. Must be pure, like [`Process::current`].
+    fn current(&self) -> Step;
+
+    /// Advances past the step returned by [`LockProcess::current`].
+    fn advance(&mut self, result: OpResult);
+}
+
+/// A mutual-exclusion algorithm for `n` processes: a recipe producing the
+/// shared register [`Layout`] and one [`LockProcess`] per participant.
+///
+/// The layout is built once per algorithm instance so that every
+/// participant's lock refers to the same register ids.
+pub trait MutexAlgorithm {
+    /// The per-participant lock state machine.
+    type Lock: LockProcess;
+
+    /// A human-readable algorithm name for reports.
+    fn name(&self) -> &str;
+
+    /// The number of participating processes.
+    fn n(&self) -> usize;
+
+    /// The atomicity `l` this algorithm requires: the width of the widest
+    /// register (or packed word) it accesses in one atomic step.
+    fn atomicity(&self) -> u32;
+
+    /// The shared register layout.
+    fn layout(&self) -> Layout;
+
+    /// The lock state machine for participant `pid` (`pid.index() < n`).
+    fn lock(&self, pid: ProcessId) -> Self::Lock;
+
+    /// A fresh shared memory for this algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout/atomicity validation errors (none occur for a
+    /// well-formed algorithm).
+    fn memory(&self) -> Result<Memory, MemoryError> {
+        Memory::new(self.layout(), self.atomicity())
+    }
+
+    /// A ready-to-run client for participant `pid` performing `trips`
+    /// critical-section entries.
+    fn client(&self, pid: ProcessId, trips: u32) -> MutexClient<Self::Lock> {
+        MutexClient::new(self.lock(pid), trips)
+    }
+
+    /// A client spending `cs_steps` internal steps inside each critical
+    /// section.
+    ///
+    /// Safety checkers use `cs_steps ≥ 1` so that occupancy of the
+    /// critical section is an observable state: with zero dwell steps a
+    /// client passes through [`Section::Critical`] instantaneously and a
+    /// mutual-exclusion monitor would never see two occupants.
+    fn client_with_cs(
+        &self,
+        pid: ProcessId,
+        trips: u32,
+        cs_steps: u32,
+    ) -> MutexClient<Self::Lock> {
+        MutexClient::with_cs_steps(self.lock(pid), trips, cs_steps)
+    }
+}
+
+/// Drives a [`LockProcess`] through `trips` remainder→entry→critical→exit
+/// cycles, reporting its [`Section`] to the executor.
+///
+/// The client spends a configurable number of internal steps inside the
+/// critical section (default 0: the paper's definitions assume processes
+/// take no shared-memory steps in the critical section).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MutexClient<L> {
+    lock: L,
+    section: Section,
+    trips_remaining: u32,
+    cs_steps: u32,
+    cs_left: u32,
+}
+
+impl<L: LockProcess> MutexClient<L> {
+    /// Creates a client that performs `trips` critical-section entries.
+    pub fn new(lock: L, trips: u32) -> Self {
+        Self::with_cs_steps(lock, trips, 0)
+    }
+
+    /// Creates a client spending `cs_steps` internal steps per critical
+    /// section.
+    pub fn with_cs_steps(mut lock: L, trips: u32, cs_steps: u32) -> Self {
+        let section = if trips > 0 {
+            lock.begin_entry();
+            Section::Entry
+        } else {
+            Section::Remainder
+        };
+        let mut client = MutexClient {
+            lock,
+            section,
+            trips_remaining: trips,
+            cs_steps,
+            cs_left: cs_steps,
+        };
+        client.settle();
+        client
+    }
+
+    /// The wrapped lock.
+    pub fn lock(&self) -> &L {
+        &self.lock
+    }
+
+    /// The number of critical-section entries still to perform (including
+    /// any trip in progress).
+    pub fn trips_remaining(&self) -> u32 {
+        self.trips_remaining
+    }
+
+    /// Resolves phase completions eagerly so that `current()` stays pure:
+    /// whenever the lock reports `Halt` within a phase, move to the next
+    /// section.
+    fn settle(&mut self) {
+        loop {
+            match self.section {
+                Section::Entry => {
+                    if matches!(self.lock.current(), Step::Halt) {
+                        self.section = Section::Critical;
+                        self.cs_left = self.cs_steps;
+                        continue;
+                    }
+                }
+                Section::Critical => {
+                    if self.cs_left == 0 {
+                        self.lock.begin_exit();
+                        self.section = Section::Exit;
+                        continue;
+                    }
+                }
+                Section::Exit => {
+                    if matches!(self.lock.current(), Step::Halt) {
+                        self.trips_remaining -= 1;
+                        if self.trips_remaining > 0 {
+                            self.lock.begin_entry();
+                            self.section = Section::Entry;
+                        } else {
+                            self.section = Section::Remainder;
+                        }
+                        continue;
+                    }
+                }
+                Section::Remainder => {}
+            }
+            break;
+        }
+    }
+}
+
+impl<L: LockProcess> Process for MutexClient<L> {
+    fn current(&self) -> Step {
+        match self.section {
+            Section::Remainder => Step::Halt,
+            Section::Critical => Step::Internal,
+            Section::Entry | Section::Exit => self.lock.current(),
+        }
+    }
+
+    fn advance(&mut self, result: OpResult) {
+        match self.section {
+            Section::Remainder => unreachable!("halted client advanced"),
+            Section::Critical => {
+                debug_assert!(self.cs_left > 0);
+                self.cs_left -= 1;
+            }
+            Section::Entry | Section::Exit => self.lock.advance(result),
+        }
+        self.settle();
+    }
+
+    fn section(&self) -> Option<Section> {
+        Some(self.section)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_core::{Op, RegisterId, Value};
+
+    /// A trivial lock: entry = one write of 1, exit = one write of 0.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct ToyLock {
+        reg: RegisterId,
+        pc: u8, // 0 idle, 1 entry-write, 2 entry-done, 3 exit-write, 4 exit-done
+    }
+
+    impl LockProcess for ToyLock {
+        fn begin_entry(&mut self) {
+            self.pc = 1;
+        }
+        fn begin_exit(&mut self) {
+            self.pc = 3;
+        }
+        fn current(&self) -> Step {
+            match self.pc {
+                1 => Step::Op(Op::Write(self.reg, Value::ONE)),
+                3 => Step::Op(Op::Write(self.reg, Value::ZERO)),
+                _ => Step::Halt,
+            }
+        }
+        fn advance(&mut self, _: OpResult) {
+            self.pc += 1;
+        }
+    }
+
+    fn toy() -> ToyLock {
+        ToyLock {
+            reg: RegisterId::new(0),
+            pc: 0,
+        }
+    }
+
+    #[test]
+    fn zero_trips_is_immediately_done() {
+        let client = MutexClient::new(toy(), 0);
+        assert_eq!(client.current(), Step::Halt);
+        assert_eq!(client.section(), Some(Section::Remainder));
+    }
+
+    #[test]
+    fn one_trip_walks_all_sections() {
+        let mut client = MutexClient::new(toy(), 1);
+        assert_eq!(client.section(), Some(Section::Entry));
+        assert!(matches!(client.current(), Step::Op(_)));
+        client.advance(OpResult::None); // entry write done -> critical (0 cs steps) -> exit begins
+        assert_eq!(client.section(), Some(Section::Exit));
+        client.advance(OpResult::None); // exit write done -> remainder
+        assert_eq!(client.section(), Some(Section::Remainder));
+        assert_eq!(client.current(), Step::Halt);
+        assert_eq!(client.trips_remaining(), 0);
+    }
+
+    #[test]
+    fn cs_steps_are_internal() {
+        let mut client = MutexClient::with_cs_steps(toy(), 1, 2);
+        client.advance(OpResult::None); // entry done
+        assert_eq!(client.section(), Some(Section::Critical));
+        assert_eq!(client.current(), Step::Internal);
+        client.advance(OpResult::None);
+        assert_eq!(client.current(), Step::Internal);
+        client.advance(OpResult::None);
+        assert_eq!(client.section(), Some(Section::Exit));
+    }
+
+    #[test]
+    fn multiple_trips_loop_back_to_entry() {
+        let mut client = MutexClient::new(toy(), 2);
+        client.advance(OpResult::None); // trip 1 entry
+        client.advance(OpResult::None); // trip 1 exit -> trip 2 entry
+        assert_eq!(client.section(), Some(Section::Entry));
+        assert_eq!(client.trips_remaining(), 1);
+        client.advance(OpResult::None);
+        client.advance(OpResult::None);
+        assert_eq!(client.current(), Step::Halt);
+    }
+}

@@ -1,0 +1,320 @@
+//! Lamport's bakery algorithm — the classic pre-[Lam87] baseline.
+//!
+//! The bakery algorithm is first-come-first-served and deadlock-free, but
+//! its *contention-free* complexity is Θ(n): even alone, a process reads
+//! every other participant's ticket twice (once to choose its own, once
+//! to pass the wait loop). It is exactly the kind of algorithm the
+//! paper's introduction argues against optimizing for worst-case alone —
+//! Lamport's later fast algorithm [Lam87] gets the same safety with a
+//! constant contention-free cost.
+//!
+//! Pseudocode for process `i`:
+//!
+//! ```text
+//! entry: choosing[i] := 1
+//!        number[i] := 1 + max_j number[j]
+//!        choosing[i] := 0
+//!        for j in 0..n:
+//!            await choosing[j] = 0
+//!            await number[j] = 0 or (number[j], j) > (number[i], i)
+//! exit:  number[i] := 0
+//! ```
+//!
+//! Real bakery tickets are unbounded; this simulation bounds them at
+//! `2^TICKET_WIDTH − 1` and panics on overflow (reachable only under
+//! sustained contention far beyond what the tests run).
+
+use std::sync::Arc;
+
+use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, Step, Value};
+
+use crate::algorithm::{LockProcess, MutexAlgorithm};
+
+/// Ticket register width (tickets are bounded in simulation).
+pub const TICKET_WIDTH: u32 = 16;
+
+/// Lamport's bakery algorithm for `n` processes.
+///
+/// # Examples
+///
+/// ```
+/// use cfc_mutex::{measure, Bakery, LamportFast, MutexAlgorithm};
+/// use cfc_core::ProcessId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The motivation for contention-free complexity, in two lines: both
+/// // algorithms are deadlock-free, but alone the bakery pays Θ(n) while
+/// // the fast algorithm pays 7.
+/// let bakery = measure::contention_free_trip(&Bakery::new(64), ProcessId::new(0))?;
+/// let fast = measure::contention_free_trip(&LamportFast::new(64), ProcessId::new(0))?;
+/// assert!(bakery.total.steps > 100);
+/// assert_eq!(fast.total.steps, 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bakery {
+    n: usize,
+    layout: Layout,
+    choosing: Arc<[RegisterId]>,
+    number: Arc<[RegisterId]>,
+}
+
+impl Bakery {
+    /// Creates the algorithm for `n ≥ 1` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one process");
+        let mut layout = Layout::new();
+        let choosing: Arc<[RegisterId]> = layout.bits("choosing", n, false).into();
+        let number: Arc<[RegisterId]> = layout.array("number", n, TICKET_WIDTH, 0).into();
+        Bakery {
+            n,
+            layout,
+            choosing,
+            number,
+        }
+    }
+}
+
+impl MutexAlgorithm for Bakery {
+    type Lock = BakeryLock;
+
+    fn name(&self) -> &str {
+        "bakery"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn atomicity(&self) -> u32 {
+        TICKET_WIDTH
+    }
+
+    fn layout(&self) -> Layout {
+        self.layout.clone()
+    }
+
+    fn lock(&self, pid: ProcessId) -> BakeryLock {
+        assert!(pid.index() < self.n, "pid out of range");
+        BakeryLock {
+            choosing: Arc::clone(&self.choosing),
+            number: Arc::clone(&self.number),
+            me: pid.index() as u32,
+            pc: Pc::Idle,
+            max_seen: 0,
+            my_number: 0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    Idle,
+    /// `choosing[i] := 1`.
+    WriteChoosing1,
+    /// Reading `number[j]` while computing the max.
+    ScanMax(u32),
+    /// `number[i] := max + 1`.
+    WriteNumber,
+    /// `choosing[i] := 0`.
+    WriteChoosing0,
+    /// `await choosing[j] = 0`.
+    WaitChoosing(u32),
+    /// `await number[j] = 0 or (number[j], j) > (number[i], i)`.
+    WaitNumber(u32),
+    EntryDone,
+    /// exit: `number[i] := 0`.
+    ExitWriteNumber,
+    ExitDone,
+}
+
+/// The per-process entry/exit state machine of [`Bakery`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BakeryLock {
+    choosing: Arc<[RegisterId]>,
+    number: Arc<[RegisterId]>,
+    me: u32,
+    pc: Pc,
+    max_seen: u64,
+    my_number: u64,
+}
+
+impl BakeryLock {
+    fn n(&self) -> u32 {
+        self.number.len() as u32
+    }
+}
+
+impl LockProcess for BakeryLock {
+    fn begin_entry(&mut self) {
+        self.max_seen = 0;
+        self.pc = Pc::WriteChoosing1;
+    }
+
+    fn begin_exit(&mut self) {
+        debug_assert_eq!(self.pc, Pc::EntryDone, "exit before entry completed");
+        self.pc = Pc::ExitWriteNumber;
+    }
+
+    fn current(&self) -> Step {
+        match self.pc {
+            Pc::Idle | Pc::EntryDone | Pc::ExitDone => Step::Halt,
+            Pc::WriteChoosing1 => {
+                Step::Op(Op::Write(self.choosing[self.me as usize], Value::ONE))
+            }
+            Pc::ScanMax(j) => Step::Op(Op::Read(self.number[j as usize])),
+            Pc::WriteNumber => Step::Op(Op::Write(
+                self.number[self.me as usize],
+                Value::new(self.my_number),
+            )),
+            Pc::WriteChoosing0 => {
+                Step::Op(Op::Write(self.choosing[self.me as usize], Value::ZERO))
+            }
+            Pc::WaitChoosing(j) => Step::Op(Op::Read(self.choosing[j as usize])),
+            Pc::WaitNumber(j) => Step::Op(Op::Read(self.number[j as usize])),
+            Pc::ExitWriteNumber => {
+                Step::Op(Op::Write(self.number[self.me as usize], Value::ZERO))
+            }
+        }
+    }
+
+    fn advance(&mut self, result: OpResult) {
+        self.pc = match self.pc {
+            Pc::Idle | Pc::EntryDone | Pc::ExitDone => {
+                unreachable!("advance called outside a phase")
+            }
+            Pc::WriteChoosing1 => Pc::ScanMax(0),
+            Pc::ScanMax(j) => {
+                self.max_seen = self.max_seen.max(result.value().raw());
+                if j + 1 < self.n() {
+                    Pc::ScanMax(j + 1)
+                } else {
+                    self.my_number = self.max_seen + 1;
+                    assert!(
+                        Value::new(self.my_number).fits(TICKET_WIDTH),
+                        "bakery ticket overflow (bounded simulation)"
+                    );
+                    Pc::WriteNumber
+                }
+            }
+            Pc::WriteNumber => Pc::WriteChoosing0,
+            Pc::WriteChoosing0 => Pc::WaitChoosing(0),
+            Pc::WaitChoosing(j) => {
+                if result.bit() {
+                    Pc::WaitChoosing(j) // j is still choosing
+                } else {
+                    Pc::WaitNumber(j)
+                }
+            }
+            Pc::WaitNumber(j) => {
+                let them = result.value().raw();
+                let ahead_of_us = them != 0
+                    && (them, j as u64) < (self.my_number, self.me as u64);
+                if ahead_of_us {
+                    Pc::WaitNumber(j) // j holds an earlier ticket
+                } else if j + 1 < self.n() {
+                    Pc::WaitChoosing(j + 1)
+                } else {
+                    Pc::EntryDone
+                }
+            }
+            Pc::ExitWriteNumber => Pc::ExitDone,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use cfc_core::{Process, RoundRobin, Scheduler, Section};
+
+    #[test]
+    fn contention_free_cost_is_linear_in_n() {
+        for n in [2usize, 4, 8, 16] {
+            let alg = Bakery::new(n);
+            let trip = measure::contention_free_trip(&alg, ProcessId::new(0)).unwrap();
+            // 1 (choosing) + n (scan) + 2 (number, choosing) + 2n (waits)
+            // + 1 (exit) = 3n + 4.
+            assert_eq!(trip.total.steps, 3 * n as u64 + 4, "n={n}");
+            // choosing[i], number[i], all other choosing + number bits.
+            assert_eq!(trip.total.registers, 2 * n as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fifo_order_under_round_robin() {
+        // All clients complete; mutual exclusion holds throughout.
+        let n = 3usize;
+        let alg = Bakery::new(n);
+        let mut exec = cfc_core::Executor::new(
+            alg.memory().unwrap(),
+            (0..n as u32)
+                .map(|i| alg.client_with_cs(ProcessId::new(i), 2, 1))
+                .collect::<Vec<_>>(),
+        );
+        let mut sched = RoundRobin::new();
+        loop {
+            let runnable = exec.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            let pid = sched.pick(&runnable).unwrap();
+            exec.step_process(pid).unwrap();
+            let in_cs = (0..n as u32)
+                .filter(|&i| {
+                    exec.process(ProcessId::new(i)).section() == Some(Section::Critical)
+                })
+                .count();
+            assert!(in_cs <= 1, "mutual exclusion violated");
+        }
+        assert!(exec.quiescent());
+    }
+
+    #[test]
+    fn solo_trips_reset_state() {
+        let alg = Bakery::new(4);
+        let (_, _, memory) =
+            cfc_core::run_solo(alg.memory().unwrap(), alg.client(ProcessId::new(2), 3)).unwrap();
+        for &r in alg.number.iter() {
+            assert_eq!(memory.get(r), Value::ZERO);
+        }
+        for &r in alg.choosing.iter() {
+            assert_eq!(memory.get(r), Value::ZERO);
+        }
+    }
+
+    #[test]
+    fn tickets_grow_across_overlapping_trips() {
+        // Sequential but overlapping ticket numbers: second process takes
+        // ticket 1 after first reset its number; tickets restart at 1.
+        let alg = Bakery::new(2);
+        let (trace, _, _) = cfc_core::run_sequential(
+            alg.memory().unwrap(),
+            vec![
+                alg.client(ProcessId::new(0), 1),
+                alg.client(ProcessId::new(1), 1),
+            ],
+        )
+        .unwrap();
+        // Both processes wrote ticket 1 (no overlap in sequential runs).
+        let tickets: Vec<u64> = trace
+            .iter()
+            .filter_map(|e| e.access())
+            .filter_map(|(op, _)| match op {
+                Op::Write(r, v)
+                    if alg.number.contains(r) && v.raw() != 0 =>
+                {
+                    Some(v.raw())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tickets, vec![1, 1]);
+    }
+}

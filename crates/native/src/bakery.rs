@@ -1,0 +1,131 @@
+//! Lamport's bakery algorithm on real atomics — the Θ(n) fast-path
+//! baseline.
+//!
+//! Deadlock-free and first-come-first-served, but even an uncontended
+//! acquire scans every slot twice: the wall-clock embodiment of the
+//! paper's motivation for contention-free complexity. Tickets are
+//! `AtomicU64`; overflow is unreachable in practice.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+
+use crate::lock::SlottedMutex;
+
+/// The bakery mutex for a fixed set of slots.
+#[derive(Debug)]
+pub struct BakeryMutex {
+    choosing: Box<[AtomicBool]>,
+    number: Box<[AtomicU64]>,
+}
+
+impl BakeryMutex {
+    /// Creates the mutex for `slots ≥ 1` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots >= 1, "need at least one slot");
+        BakeryMutex {
+            choosing: (0..slots).map(|_| AtomicBool::new(false)).collect(),
+            number: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn spin(spins: &mut u32) {
+        *spins += 1;
+        if (*spins).is_multiple_of(64) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl SlottedMutex for BakeryMutex {
+    fn lock(&self, slot: usize) {
+        assert!(slot < self.number.len(), "slot out of range");
+        self.choosing[slot].store(true, SeqCst);
+        let max = self
+            .number
+            .iter()
+            .map(|n| n.load(SeqCst))
+            .max()
+            .unwrap_or(0);
+        let my_number = max + 1;
+        self.number[slot].store(my_number, SeqCst);
+        self.choosing[slot].store(false, SeqCst);
+
+        let mut spins = 0u32;
+        for j in 0..self.number.len() {
+            while self.choosing[j].load(SeqCst) {
+                Self::spin(&mut spins);
+            }
+            loop {
+                let them = self.number[j].load(SeqCst);
+                if them == 0 || (them, j) >= (my_number, slot) {
+                    break;
+                }
+                Self::spin(&mut spins);
+            }
+        }
+    }
+
+    fn unlock(&self, slot: usize) {
+        self.number[slot].store(0, SeqCst);
+    }
+
+    fn slots(&self) -> usize {
+        self.number.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "bakery"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hammer(mutex: &BakeryMutex, threads: usize, iters: u64) -> u64 {
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for slot in 0..threads {
+                let counter = &counter;
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        mutex.lock(slot);
+                        let v = counter.load(SeqCst);
+                        counter.store(v + 1, SeqCst);
+                        mutex.unlock(slot);
+                    }
+                });
+            }
+        });
+        counter.load(SeqCst)
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let m = BakeryMutex::new(4);
+        assert_eq!(hammer(&m, 4, 2_000), 8_000);
+    }
+
+    #[test]
+    fn counter_is_exact_for_eight_threads() {
+        let m = BakeryMutex::new(8);
+        assert_eq!(hammer(&m, 8, 1_000), 8_000);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let m = BakeryMutex::new(1);
+        assert_eq!(hammer(&m, 1, 10_000), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn rejects_bad_slot() {
+        BakeryMutex::new(2).lock(5);
+    }
+}

@@ -1,0 +1,106 @@
+//! The slotted-mutex abstraction and RAII guard.
+
+/// A mutual-exclusion lock for a fixed set of participant *slots*.
+///
+/// The paper's algorithms assume each process has a unique identity in
+/// `1..=n`; natively, each thread owns a distinct slot in `0..slots()`.
+/// Identity-free locks (e.g. test-and-set) simply ignore the slot.
+///
+/// Locking and unlocking are ordinary safe calls; misuse (unlocking a
+/// slot that does not hold the lock, two threads sharing a slot) is a
+/// logic error that may lose mutual exclusion, but never memory safety —
+/// the crate is `#![forbid(unsafe_code)]`.
+pub trait SlottedMutex: Send + Sync {
+    /// Acquires the lock for `slot`, spinning until available.
+    fn lock(&self, slot: usize);
+
+    /// Releases the lock held by `slot`.
+    fn unlock(&self, slot: usize);
+
+    /// The number of participant slots.
+    fn slots(&self) -> usize;
+
+    /// A short algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs `f` under the lock (RAII-style convenience).
+    fn with<R>(&self, slot: usize, f: impl FnOnce() -> R) -> R
+    where
+        Self: Sized,
+    {
+        let _guard = Guard::new(self, slot);
+        f()
+    }
+}
+
+/// RAII guard: releases the slot's lock on drop.
+#[derive(Debug)]
+pub struct Guard<'a, M: SlottedMutex> {
+    mutex: &'a M,
+    slot: usize,
+}
+
+impl<'a, M: SlottedMutex> Guard<'a, M> {
+    /// Acquires `slot`'s lock, releasing it when the guard drops.
+    pub fn new(mutex: &'a M, slot: usize) -> Self {
+        mutex.lock(slot);
+        Guard { mutex, slot }
+    }
+}
+
+impl<M: SlottedMutex> Drop for Guard<'_, M> {
+    fn drop(&mut self) {
+        self.mutex.unlock(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingLock {
+        locks: AtomicUsize,
+        unlocks: AtomicUsize,
+    }
+
+    impl SlottedMutex for CountingLock {
+        fn lock(&self, _slot: usize) {
+            self.locks.fetch_add(1, Ordering::SeqCst);
+        }
+        fn unlock(&self, _slot: usize) {
+            self.unlocks.fetch_add(1, Ordering::SeqCst);
+        }
+        fn slots(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let m = CountingLock {
+            locks: AtomicUsize::new(0),
+            unlocks: AtomicUsize::new(0),
+        };
+        let out = m.with(0, || 42);
+        assert_eq!(out, 42);
+        assert_eq!(m.locks.load(Ordering::SeqCst), 1);
+        assert_eq!(m.unlocks.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn guard_releases_even_on_panic() {
+        let m = CountingLock {
+            locks: AtomicUsize::new(0),
+            unlocks: AtomicUsize::new(0),
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.with(0, || panic!("boom"))
+        }));
+        assert!(result.is_err());
+        assert_eq!(m.unlocks.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Wait-free naming registries on real atomics (Section 3 in hardware).
+//!
+//! `AtomicBool::swap(true)` *is* the paper's `test-and-set`, so both
+//! Theorem 4.3 (linear scan) and Theorem 4.4 (binary search + scan) run
+//! natively: threads claim unique names from `1..=n` without locks, and a
+//! thread that stalls or dies mid-claim never blocks the others.
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+
+/// A wait-free name registry assigning names `1..=capacity`.
+///
+/// # Examples
+///
+/// ```
+/// use cfc_native::NamingRegistry;
+/// use std::collections::HashSet;
+///
+/// let registry = NamingRegistry::new(8);
+/// let names = std::thread::scope(|s| {
+///     let handles: Vec<_> = (0..8)
+///         .map(|_| s.spawn(|| registry.claim_search().unwrap()))
+///         .collect();
+///     handles.into_iter().map(|h| h.join().unwrap()).collect::<HashSet<_>>()
+/// });
+/// assert_eq!(names.len(), 8); // all distinct
+/// assert!(names.iter().all(|&x| (1..=8).contains(&x)));
+/// ```
+#[derive(Debug)]
+pub struct NamingRegistry {
+    /// `capacity - 1` claim bits; the implicit last name needs no bit.
+    bits: Box<[AtomicBool]>,
+}
+
+impl NamingRegistry {
+    /// Creates a registry for `capacity ≥ 1` names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "need at least one name");
+        NamingRegistry {
+            bits: (0..capacity - 1).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// The name-space size.
+    pub fn capacity(&self) -> usize {
+        self.bits.len() + 1
+    }
+
+    /// Claims a name by linear scan (Theorem 4.3): worst case
+    /// `capacity − 1` shared accesses, `{test-and-set}` only.
+    ///
+    /// Returns `None` if every name (including the implicit last one) has
+    /// been claimed — which cannot happen with at most `capacity`
+    /// claimants.
+    pub fn claim_scan(&self) -> Option<usize> {
+        self.scan_from(0)
+    }
+
+    /// Claims a name by binary search plus scan (Theorem 4.4):
+    /// `O(log capacity)` accesses when claims don't race, `{read,
+    /// test-and-set}`.
+    ///
+    /// Returns `None` under the same (impossible within capacity)
+    /// exhaustion condition as [`NamingRegistry::claim_scan`].
+    pub fn claim_search(&self) -> Option<usize> {
+        if self.bits.is_empty() {
+            return Some(1);
+        }
+        // Binary search for the first unset bit: invariant: bits < lo are
+        // all set; position hi (or the virtual sentinel at len) is unset
+        // as of its read.
+        let (mut lo, mut hi) = (0usize, self.bits.len());
+        while hi - lo >= 2 {
+            let mid = (lo + hi) / 2;
+            if self.bits[mid].load(SeqCst) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+            if lo >= self.bits.len() {
+                break;
+            }
+        }
+        self.scan_from(lo.min(self.bits.len().saturating_sub(1)))
+    }
+
+    fn scan_from(&self, start: usize) -> Option<usize> {
+        for i in start..self.bits.len() {
+            // swap(true) = test-and-set; old value false means we won bit i.
+            if !self.bits[i].swap(true, SeqCst) {
+                return Some(i + 1);
+            }
+        }
+        // All visible bits taken: take the implicit last name if we are
+        // the first to exhaust the array. Guard with a dedicated claim on
+        // the last conceptual slot: since only `capacity` threads may
+        // participate, reaching here un-raced is guaranteed unique.
+        if start == 0 || self.all_set() {
+            Some(self.capacity())
+        } else {
+            None
+        }
+    }
+
+    fn all_set(&self) -> bool {
+        self.bits.iter().all(|b| b.load(SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn claim_all(registry: &NamingRegistry, threads: usize, search: bool) -> HashSet<usize> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(move || {
+                        if search {
+                            registry.claim_search().unwrap()
+                        } else {
+                            registry.claim_scan().unwrap()
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn scan_names_are_unique_and_complete() {
+        for threads in [1usize, 2, 4, 8] {
+            let registry = NamingRegistry::new(threads);
+            let names = claim_all(&registry, threads, false);
+            assert_eq!(names.len(), threads);
+            assert!(names.iter().all(|&x| (1..=threads).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn search_names_are_unique_and_complete() {
+        for threads in [1usize, 2, 5, 8, 16] {
+            let registry = NamingRegistry::new(threads);
+            let names = claim_all(&registry, threads, true);
+            assert_eq!(names.len(), threads);
+            assert!(names.iter().all(|&x| (1..=threads).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn sequential_claims_are_in_order() {
+        let registry = NamingRegistry::new(4);
+        assert_eq!(registry.claim_search(), Some(1));
+        assert_eq!(registry.claim_search(), Some(2));
+        assert_eq!(registry.claim_scan(), Some(3));
+        assert_eq!(registry.claim_scan(), Some(4));
+    }
+
+    #[test]
+    fn under_capacity_registry_mixed_claims() {
+        // Fewer claimants than capacity: mixed strategies stay unique.
+        let registry = NamingRegistry::new(16);
+        let names = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let registry = &registry;
+                    s.spawn(move || {
+                        if i % 2 == 0 {
+                            registry.claim_scan().unwrap()
+                        } else {
+                            registry.claim_search().unwrap()
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<HashSet<_>>()
+        });
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let registry = NamingRegistry::new(1);
+        assert_eq!(registry.claim_scan(), Some(1));
+        assert_eq!(registry.claim_search(), Some(1));
+        assert_eq!(registry.capacity(), 1);
+    }
+}

@@ -1,0 +1,619 @@
+//! Exhaustive interleaving exploration for small systems.
+//!
+//! The paper's model admits *every* interleaving of process steps; for
+//! small `n` we can enumerate all of them. The explorer performs a
+//! depth-first search over global states — process states, register
+//! values, liveness statuses — with memoization, invoking a safety check
+//! in every reachable state and a terminal check in every quiescent one.
+//! Optionally it also branches on crash transitions, which is how
+//! wait-freedom claims of the naming algorithms are validated under every
+//! adversarial failure pattern.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+use cfc_core::{Memory, OpResult, Process, ProcessId, Status, Step, Value};
+
+/// Limits for an exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Abort after visiting this many distinct states.
+    pub max_states: usize,
+    /// How many crash transitions the adversary may inject in one run.
+    pub max_crashes: u32,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 2_000_000,
+            max_crashes: 0,
+        }
+    }
+}
+
+/// Statistics of a completed exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Quiescent (terminal) states reached.
+    pub terminals: usize,
+}
+
+/// One scheduling decision on a violating path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleStep {
+    /// The process took its next step.
+    Step(ProcessId),
+    /// The adversary crashed the process.
+    Crash(ProcessId),
+}
+
+impl fmt::Display for ScheduleStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleStep::Step(p) => write!(f, "{p}"),
+            ScheduleStep::Crash(p) => write!(f, "crash({p})"),
+        }
+    }
+}
+
+/// A property violation, with the schedule that reaches it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The scheduling decisions from the initial state to the violation.
+    pub schedule: Vec<ScheduleStep>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} after schedule [", self.message)?;
+        for (i, s) in self.schedule.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// The error type of an exploration: a violation, or state-space overflow.
+#[derive(Clone, Debug)]
+pub enum ExploreError {
+    /// The property failed on some schedule.
+    Violation(Box<Violation>),
+    /// The state budget was exhausted before the search completed.
+    StateBudget(usize),
+    /// A process issued an invalid operation.
+    Memory(cfc_core::MemoryError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Violation(v) => write!(f, "{v}"),
+            ExploreError::StateBudget(n) => write!(f, "state budget exhausted at {n} states"),
+            ExploreError::Memory(e) => write!(f, "memory error during exploration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// A snapshot of the global state handed to property checks.
+#[derive(Debug)]
+pub struct StateView<'a, P> {
+    /// The processes, indexed by pid.
+    pub procs: &'a [P],
+    /// Their liveness statuses.
+    pub status: &'a [Status],
+    /// The shared memory.
+    pub memory: &'a Memory,
+}
+
+impl<P: Process> StateView<'_, P> {
+    /// The decided outputs of halted processes.
+    pub fn outputs(&self) -> Vec<Option<Value>> {
+        self.procs.iter().map(Process::output).collect()
+    }
+
+    /// How many processes have decided the given output.
+    pub fn count_output(&self, v: Value) -> usize {
+        self.procs
+            .iter()
+            .filter(|p| p.output() == Some(v))
+            .count()
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Node<P> {
+    procs: Vec<P>,
+    values: Vec<Value>,
+    status: Vec<Status>,
+    crashes_left: u32,
+}
+
+/// Explores every interleaving (and crash pattern, if enabled) of the
+/// processes, checking `state_check` in every reachable state and
+/// `terminal_check` in every quiescent state.
+///
+/// Process types must be `Clone + Eq + Hash` so states can be memoized;
+/// the enum-based state machines of `cfc-mutex`/`cfc-naming` all qualify.
+///
+/// # Errors
+///
+/// Returns the first violation found (with its schedule), state-budget
+/// exhaustion, or an invalid memory operation.
+pub fn explore<P, FS, FT>(
+    memory: Memory,
+    procs: Vec<P>,
+    config: ExploreConfig,
+    mut state_check: FS,
+    mut terminal_check: FT,
+) -> Result<ExploreStats, ExploreError>
+where
+    P: Process + Clone + Eq + Hash,
+    FS: FnMut(&StateView<'_, P>) -> Result<(), String>,
+    FT: FnMut(&StateView<'_, P>) -> Result<(), String>,
+{
+    let n = procs.len();
+    let root = Node {
+        status: vec![Status::Running; n],
+        values: memory.snapshot().to_vec(),
+        procs,
+        crashes_left: config.max_crashes,
+    };
+
+    let mut visited: HashSet<Node<P>> = HashSet::new();
+    let mut stats = ExploreStats::default();
+    // DFS stack: (node, schedule-so-far). The schedule is stored per node
+    // to report violating paths; for small systems this is affordable.
+    let mut stack: Vec<(Node<P>, Vec<ScheduleStep>)> = vec![(root, Vec::new())];
+
+    while let Some((node, path)) = stack.pop() {
+        if !visited.insert(node.clone()) {
+            continue;
+        }
+        stats.states += 1;
+        if stats.states > config.max_states {
+            return Err(ExploreError::StateBudget(stats.states));
+        }
+
+        let mem = rebuild_memory(&memory, &node.values);
+        let view = StateView {
+            procs: &node.procs,
+            status: &node.status,
+            memory: &mem,
+        };
+        if let Err(message) = state_check(&view) {
+            return Err(ExploreError::Violation(Box::new(Violation {
+                schedule: path,
+                message,
+            })));
+        }
+
+        let runnable: Vec<usize> = (0..n).filter(|&i| node.status[i] == Status::Running).collect();
+        if runnable.is_empty() {
+            stats.terminals += 1;
+            if let Err(message) = terminal_check(&view) {
+                return Err(ExploreError::Violation(Box::new(Violation {
+                    schedule: path,
+                    message,
+                })));
+            }
+            continue;
+        }
+
+        for &i in &runnable {
+            // Crash transition.
+            if node.crashes_left > 0 {
+                let mut next = node.clone();
+                next.status[i] = Status::Crashed;
+                next.crashes_left -= 1;
+                let mut next_path = path.clone();
+                next_path.push(ScheduleStep::Crash(ProcessId::new(i as u32)));
+                stats.transitions += 1;
+                stack.push((next, next_path));
+            }
+            // Step transition.
+            let mut next = node.clone();
+            let step = next.procs[i].current();
+            match step {
+                Step::Halt => {
+                    next.status[i] = Status::Done;
+                }
+                Step::Internal => {
+                    next.procs[i].advance(OpResult::None);
+                }
+                Step::Op(op) => {
+                    let mut mem = rebuild_memory(&memory, &next.values);
+                    let result = mem.apply(&op).map_err(ExploreError::Memory)?;
+                    next.values = mem.snapshot().to_vec();
+                    next.procs[i].advance(result);
+                }
+            }
+            let mut next_path = path.clone();
+            next_path.push(ScheduleStep::Step(ProcessId::new(i as u32)));
+            stats.transitions += 1;
+            stack.push((next, next_path));
+        }
+    }
+    Ok(stats)
+}
+
+fn rebuild_memory(template: &Memory, values: &[Value]) -> Memory {
+    let mut mem = template.clone();
+    for (i, v) in values.iter().enumerate() {
+        mem.poke(cfc_core::RegisterId::new(i as u32), *v);
+    }
+    mem
+}
+
+/// Statistics of a completed progress (deadlock-freedom) check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgressStats {
+    /// Distinct states in the reachability graph.
+    pub states: usize,
+    /// Transitions in the graph.
+    pub transitions: u64,
+    /// Quiescent states.
+    pub terminals: usize,
+}
+
+/// Exhaustively verifies *possibility of progress*: from **every**
+/// reachable state of the system, some continuation reaches quiescence
+/// (all processes halted).
+///
+/// For one-shot mutual-exclusion clients this is deadlock freedom in the
+/// classic sense — no reachable state is stuck, and no set of processes
+/// can wedge the system so that nobody can ever finish. (It does not rule
+/// out unfair infinite schedules that starve a process; the paper's
+/// algorithms are deadlock-free, not starvation-free, and so is this
+/// property.)
+///
+/// The check builds the full state graph, then back-propagates
+/// "can reach a terminal" over reversed edges.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming a stuck state if one exists, a
+/// state-budget error for oversized systems, or a memory error.
+pub fn check_progress<P>(
+    memory: Memory,
+    procs: Vec<P>,
+    config: ExploreConfig,
+) -> Result<ProgressStats, ExploreError>
+where
+    P: Process + Clone + Eq + Hash,
+{
+    use std::collections::HashMap;
+
+    let n = procs.len();
+    let root = Node {
+        status: vec![Status::Running; n],
+        values: memory.snapshot().to_vec(),
+        procs,
+        crashes_left: 0,
+    };
+
+    let mut index: HashMap<Node<P>, usize> = HashMap::new();
+    let mut rev_edges: Vec<Vec<usize>> = Vec::new();
+    let mut terminal: Vec<bool> = Vec::new();
+    let mut queue: Vec<Node<P>> = Vec::new();
+
+    index.insert(root.clone(), 0);
+    rev_edges.push(Vec::new());
+    terminal.push(false);
+    queue.push(root);
+
+    let mut transitions = 0u64;
+    let mut cursor = 0usize;
+    while cursor < queue.len() {
+        let node = queue[cursor].clone();
+        let id = cursor;
+        cursor += 1;
+        if index.len() > config.max_states {
+            return Err(ExploreError::StateBudget(index.len()));
+        }
+
+        let runnable: Vec<usize> = (0..n)
+            .filter(|&i| node.status[i] == Status::Running)
+            .collect();
+        if runnable.is_empty() {
+            terminal[id] = true;
+            continue;
+        }
+        for &i in &runnable {
+            let mut next = node.clone();
+            match next.procs[i].current() {
+                Step::Halt => next.status[i] = Status::Done,
+                Step::Internal => next.procs[i].advance(OpResult::None),
+                Step::Op(op) => {
+                    let mut mem = rebuild_memory(&memory, &next.values);
+                    let result = mem.apply(&op).map_err(ExploreError::Memory)?;
+                    next.values = mem.snapshot().to_vec();
+                    next.procs[i].advance(result);
+                }
+            }
+            transitions += 1;
+            let next_id = match index.get(&next) {
+                Some(&existing) => existing,
+                None => {
+                    let new_id = queue.len();
+                    index.insert(next.clone(), new_id);
+                    rev_edges.push(Vec::new());
+                    terminal.push(false);
+                    queue.push(next);
+                    new_id
+                }
+            };
+            rev_edges[next_id].push(id);
+        }
+    }
+
+    // Back-propagate reachability of quiescence.
+    let states = queue.len();
+    let mut can_finish = terminal.clone();
+    let mut work: Vec<usize> = (0..states).filter(|&i| terminal[i]).collect();
+    while let Some(s) = work.pop() {
+        for &pred in &rev_edges[s] {
+            if !can_finish[pred] {
+                can_finish[pred] = true;
+                work.push(pred);
+            }
+        }
+    }
+
+    if let Some(stuck) = (0..states).find(|&i| !can_finish[i]) {
+        return Err(ExploreError::Violation(Box::new(Violation {
+            schedule: Vec::new(),
+            message: format!(
+                "state {stuck} of {states} cannot reach quiescence (deadlock/livelock)"
+            ),
+        })));
+    }
+
+    Ok(ProgressStats {
+        states,
+        transitions,
+        terminals: terminal.iter().filter(|t| **t).count(),
+    })
+}
+
+/// Replays a violating schedule on a fresh executor, returning the trace —
+/// used to render counterexamples for humans.
+///
+/// # Errors
+///
+/// Propagates executor errors; a schedule obtained from [`explore`] always
+/// replays cleanly.
+pub fn replay<P: Process>(
+    memory: Memory,
+    mut procs: Vec<P>,
+    schedule: &[ScheduleStep],
+) -> Result<(cfc_core::Trace, Vec<P>), cfc_core::ExecError> {
+    use cfc_core::{Event, EventKind, Trace};
+    let mut mem = memory;
+    let mut trace = Trace::new();
+    for s in schedule {
+        match s {
+            ScheduleStep::Crash(pid) => {
+                trace.push(Event {
+                    pid: *pid,
+                    kind: EventKind::Crash,
+                });
+            }
+            ScheduleStep::Step(pid) => {
+                let i = pid.index();
+                match procs[i].current() {
+                    Step::Halt => {
+                        trace.push(Event {
+                            pid: *pid,
+                            kind: EventKind::Done {
+                                output: procs[i].output(),
+                            },
+                        });
+                    }
+                    Step::Internal => {
+                        procs[i].advance(OpResult::None);
+                        trace.push(Event {
+                            pid: *pid,
+                            kind: EventKind::Internal,
+                        });
+                    }
+                    Step::Op(op) => {
+                        let result = mem.apply(&op)?;
+                        procs[i].advance(result.clone());
+                        trace.push(Event {
+                            pid: *pid,
+                            kind: EventKind::Access { op, result },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok((trace, procs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_core::{Layout, Op, RegisterId};
+
+    /// Two processes each increment a 2-bit counter once (read + write).
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Incr {
+        reg: RegisterId,
+        pc: u8,
+        seen: u64,
+    }
+
+    impl Process for Incr {
+        fn current(&self) -> Step {
+            match self.pc {
+                0 => Step::Op(Op::Read(self.reg)),
+                1 => Step::Op(Op::Write(self.reg, Value::new(self.seen + 1))),
+                _ => Step::Halt,
+            }
+        }
+        fn advance(&mut self, result: OpResult) {
+            if self.pc == 0 {
+                self.seen = result.value().raw();
+            }
+            self.pc += 1;
+        }
+    }
+
+    fn incr_system() -> (Memory, Vec<Incr>) {
+        let mut layout = Layout::new();
+        let c = layout.register("c", 2, 0);
+        let memory = Memory::new(layout, 2).unwrap();
+        (
+            memory,
+            vec![
+                Incr {
+                    reg: c,
+                    pc: 0,
+                    seen: 0,
+                },
+                Incr {
+                    reg: c,
+                    pc: 0,
+                    seen: 0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn finds_the_lost_update() {
+        // The explorer must find the interleaving where both processes
+        // read 0 and the counter ends at 1.
+        let (memory, procs) = incr_system();
+        let c = RegisterId::new(0);
+        let err = explore(
+            memory,
+            procs,
+            ExploreConfig::default(),
+            |_| Ok(()),
+            |view| {
+                if view.memory.get(c) == Value::new(2) {
+                    Ok(())
+                } else {
+                    Err(format!("counter ended at {}", view.memory.get(c)))
+                }
+            },
+        )
+        .unwrap_err();
+        match err {
+            ExploreError::Violation(v) => {
+                assert!(v.message.contains("counter ended at 1"));
+                assert!(!v.schedule.is_empty());
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn passes_when_property_holds() {
+        // Termination with counter in {1, 2} always holds.
+        let (memory, procs) = incr_system();
+        let c = RegisterId::new(0);
+        let stats = explore(
+            memory,
+            procs,
+            ExploreConfig::default(),
+            |_| Ok(()),
+            |view| {
+                let v = view.memory.get(c).raw();
+                if v == 1 || v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("impossible count {v}"))
+                }
+            },
+        )
+        .unwrap();
+        assert!(stats.states > 5);
+        assert!(stats.terminals >= 2);
+    }
+
+    #[test]
+    fn crash_transitions_are_explored() {
+        // With one crash allowed, there is a terminal state where only one
+        // process incremented.
+        let (memory, procs) = incr_system();
+        let c = RegisterId::new(0);
+        let mut saw_crashed_terminal = false;
+        let _ = explore(
+            memory,
+            procs,
+            ExploreConfig {
+                max_crashes: 1,
+                ..Default::default()
+            },
+            |_| Ok(()),
+            |view| {
+                if view.status.contains(&Status::Crashed) && view.memory.get(c).raw() <= 1 {
+                    saw_crashed_terminal = true;
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(saw_crashed_terminal);
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let (memory, procs) = incr_system();
+        let err = explore(
+            memory,
+            procs,
+            ExploreConfig {
+                max_states: 3,
+                max_crashes: 0,
+            },
+            |_| Ok(()),
+            |_| Ok(()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::StateBudget(_)));
+    }
+
+    #[test]
+    fn replay_reproduces_the_violation() {
+        let (memory, procs) = incr_system();
+        let c = RegisterId::new(0);
+        let err = explore(
+            memory.clone(),
+            procs.clone(),
+            ExploreConfig::default(),
+            |_| Ok(()),
+            |view| {
+                if view.memory.get(c) == Value::new(2) {
+                    Ok(())
+                } else {
+                    Err("lost update".into())
+                }
+            },
+        )
+        .unwrap_err();
+        let ExploreError::Violation(v) = err else {
+            panic!("expected violation")
+        };
+        let (trace, _) = replay(memory, procs, &v.schedule).unwrap();
+        assert!(trace.len() >= 4);
+    }
+}

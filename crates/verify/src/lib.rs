@@ -1,0 +1,51 @@
+//! Verification substrate: exhaustive interleaving exploration,
+//! lower-bound adversaries, and the Lemma 2 run-merge attack.
+//!
+//! The paper's lower bounds are proofs about *all* runs; this crate makes
+//! them executable:
+//!
+//! * [`explore`] — a memoizing DFS over every interleaving (and optional
+//!   crash pattern) of a small system, with safety checks in every state.
+//! * [`checks`] — ready-made exhaustive checks: mutual exclusion,
+//!   detection safety, naming uniqueness + wait-freedom.
+//! * [`merge`] — Lemma 2's merge construction: extract solo-run profiles,
+//!   test the lemma's condition, and build the forbidden two-winner run
+//!   when an algorithm violates it.
+//! * [`adversary`] — the Theorem 6 lockstep and Theorem 7 sequential
+//!   schedules, measuring worst-case naming complexity.
+//! * [`stress`] — randomized long-run safety monitors for systems too
+//!   large to explore exhaustively.
+//!
+//! ```
+//! use cfc_verify::checks::check_mutex_safety;
+//! use cfc_verify::explore::ExploreConfig;
+//! use cfc_mutex::PetersonTwo;
+//!
+//! // Every interleaving of two single-trip Peterson clients is safe:
+//! let stats = check_mutex_safety(&PetersonTwo::new(), 1, ExploreConfig::default()).unwrap();
+//! assert!(stats.states > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adversary;
+pub mod checks;
+pub mod explore;
+pub mod merge;
+pub mod stress;
+
+pub use adversary::{naming_profile, NamingProfile};
+pub use checks::{
+    check_detection_safety, check_mutex_progress, check_mutex_safety, check_naming_uniqueness,
+};
+pub use explore::{
+    check_progress, explore, ExploreConfig, ExploreError, ExploreStats, ProgressStats,
+    ScheduleStep, Violation,
+};
+pub use merge::{
+    assert_resists_merge, lemma2_condition, merge_attack, solo_profile, MergeError, MergeFailure,
+    MergeWitness, SoloProfile,
+};
+pub use stress::{stress_mutex, MutexViolation, StressError, StressStats};

@@ -1,0 +1,326 @@
+//! The Lemma 2 run-merge attack, made executable.
+//!
+//! Lemma 2 states that in any correct contention-detection algorithm, for
+//! every pair of processes `p₁, p₂` there is a write index `m` with
+//! `W(p₁, m) ≠ W(p₂, m)` such that one process's `m`-th written register
+//! is *read* by the other in its solo run. The proof is constructive: if
+//! the condition fails, the two solo runs can be merged — interleaved so
+//! that each process observes only its own writes and initial values —
+//! into a run where **both** processes output `1`, violating safety.
+//!
+//! This module extracts solo-run profiles, evaluates the lemma's
+//! condition, and, when the condition fails, actually constructs and
+//! executes the merged run, returning the two-winner witness. Running it
+//! against the paper's algorithms shows the condition always holds;
+//! running it against [`BrokenDetector`](cfc_mutex::BrokenDetector)
+//! produces the forbidden run.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cfc_core::{run_solo, ExecError, Op, Process, ProcessId, RegisterId, Status, Step, Value};
+use cfc_mutex::DetectionAlgorithm;
+
+/// The solo-run profile of one process: its write sequence and read set
+/// (the paper's `W(p, ·)` and `R(p)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoloProfile {
+    /// `W(p, m)`: the m-th write's register and value (0-based `m`).
+    pub writes: Vec<(RegisterId, Value)>,
+    /// `R(p)`: the set of registers read.
+    pub reads: BTreeSet<RegisterId>,
+    /// The process's solo output.
+    pub output: Option<Value>,
+}
+
+/// Extracts the solo-run profile of participant `pid`.
+///
+/// # Errors
+///
+/// Propagates executor errors, and rejects algorithms that use operations
+/// other than atomic register reads/writes (the Section 2 model).
+pub fn solo_profile<A: DetectionAlgorithm>(
+    alg: &A,
+    pid: ProcessId,
+) -> Result<SoloProfile, MergeError> {
+    let memory = alg.memory().map_err(ExecError::from)?;
+    let (trace, proc_, _) = run_solo(memory, alg.process(pid))?;
+    let mut writes = Vec::new();
+    let mut reads = BTreeSet::new();
+    for (op, _) in trace.accesses_by(ProcessId::new(0)) {
+        match op {
+            Op::Read(r) => {
+                reads.insert(*r);
+            }
+            Op::Write(r, v) => writes.push((*r, *v)),
+            other => return Err(MergeError::UnsupportedOp(other.clone())),
+        }
+    }
+    Ok(SoloProfile {
+        writes,
+        reads,
+        output: proc_.output(),
+    })
+}
+
+/// Evaluates Lemma 2's condition for a pair of solo profiles: does there
+/// exist `m` with `W(p₁, m) ≠ W(p₂, m)` and `Wʳ(p₁, m) ∈ R(p₂)` or
+/// `Wʳ(p₂, m) ∈ R(p₁)`?
+///
+/// Runs of different write counts are padded with conceptual dummy writes
+/// to fresh registers (as in the paper's proof): an index where only one
+/// process writes counts as "different", and crosses iff that register is
+/// in the other's read set.
+pub fn lemma2_condition(p1: &SoloProfile, p2: &SoloProfile) -> bool {
+    let w = p1.writes.len().max(p2.writes.len());
+    for m in 0..w {
+        match (p1.writes.get(m), p2.writes.get(m)) {
+            (Some(a), Some(b)) => {
+                if a != b && (p2.reads.contains(&a.0) || p1.reads.contains(&b.0)) {
+                    return true;
+                }
+            }
+            (Some(a), None) => {
+                if p2.reads.contains(&a.0) {
+                    return true;
+                }
+            }
+            (None, Some(b)) => {
+                if p1.reads.contains(&b.0) {
+                    return true;
+                }
+            }
+            (None, None) => unreachable!("m < max write count"),
+        }
+    }
+    false
+}
+
+/// A successful merge attack: the schedule produced two winners.
+#[derive(Clone, Debug)]
+pub struct MergeWitness {
+    /// The two processes that both output `1`.
+    pub pids: (ProcessId, ProcessId),
+    /// The merged run's trace.
+    pub trace: cfc_core::Trace,
+}
+
+impl fmt::Display for MergeWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "merge attack succeeded: {} and {} both output 1; merged run:",
+            self.pids.0, self.pids.1
+        )?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+/// Errors from the merge machinery.
+#[derive(Clone, Debug)]
+pub enum MergeError {
+    /// The algorithm issued an operation outside the atomic-register model.
+    UnsupportedOp(Op),
+    /// Execution failed.
+    Exec(ExecError),
+    /// The merged run diverged from the solo profiles (the algorithm's
+    /// processes noticed each other), so no witness was produced.
+    Diverged,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::UnsupportedOp(op) => {
+                write!(f, "merge attack supports atomic registers only, got {op}")
+            }
+            MergeError::Exec(e) => write!(f, "execution error: {e}"),
+            MergeError::Diverged => write!(f, "merged run diverged from solo profiles"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<ExecError> for MergeError {
+    fn from(e: ExecError) -> Self {
+        MergeError::Exec(e)
+    }
+}
+
+/// Attempts the Lemma 2 merge attack on a pair of participants.
+///
+/// Returns `Ok(None)` if the pair satisfies the lemma's condition (the
+/// algorithm resists — expected for every correct detector), or
+/// `Ok(Some(witness))` with the two-winner run when it does not.
+///
+/// The merged schedule follows the proof of Lemma 2: repeatedly let each
+/// process run its reads up to its next write; then let the second process
+/// perform its `i`-th write followed by the first, so that every read
+/// observes only initial values or the reader's own writes.
+///
+/// # Errors
+///
+/// Propagates profile-extraction and execution errors.
+pub fn merge_attack<A>(
+    alg: &A,
+    pid1: ProcessId,
+    pid2: ProcessId,
+) -> Result<Option<MergeWitness>, MergeError>
+where
+    A: DetectionAlgorithm,
+{
+    let prof1 = solo_profile(alg, pid1)?;
+    let prof2 = solo_profile(alg, pid2)?;
+    if lemma2_condition(&prof1, &prof2) {
+        return Ok(None);
+    }
+
+    // Premise fails: build the merged run.
+    let memory = alg.memory().map_err(ExecError::from)?;
+    let mut exec = cfc_core::Executor::new(memory, vec![alg.process(pid1), alg.process(pid2)]);
+    let p = [ProcessId::new(0), ProcessId::new(1)];
+
+    // Drive: drain non-write steps of p1, then of p2; then perform p2's
+    // write followed by p1's write; repeat. When a process halts it drops
+    // out of the rotation.
+    let mut guard = 0u64;
+    while !exec.quiescent() {
+        guard += 1;
+        if guard > 1_000_000 {
+            return Err(MergeError::Diverged);
+        }
+        // Phase 1: non-write steps.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for &pid in &p {
+                while exec.status(pid) == Status::Running && !poised_at_write(exec.process(pid)) {
+                    exec.step_process(pid)?;
+                    progressed = true;
+                }
+            }
+        }
+        // Phase 2: both (or the remaining one) poised at writes; let the
+        // second process write first, then the first.
+        for &pid in p.iter().rev() {
+            if exec.status(pid) == Status::Running {
+                exec.step_process(pid)?;
+            }
+        }
+    }
+
+    let outputs = exec.outputs();
+    if outputs[0] == Some(Value::ONE) && outputs[1] == Some(Value::ONE) {
+        let (trace, _, _) = exec.into_parts();
+        Ok(Some(MergeWitness {
+            pids: (pid1, pid2),
+            trace,
+        }))
+    } else {
+        // The merged run did not produce two winners: the schedule
+        // perturbed the processes (their runs were not mergeable after
+        // all). For algorithms satisfying Lemma 2's premise-failure this
+        // cannot happen; report divergence.
+        Err(MergeError::Diverged)
+    }
+}
+
+fn poised_at_write<P: Process>(proc_: &P) -> bool {
+    matches!(proc_.current(), Step::Op(Op::Write(..)))
+}
+
+/// Runs the merge attack over **all** pairs, asserting the algorithm
+/// resists (Lemma 2's condition holds for every pair).
+///
+/// # Errors
+///
+/// Returns the first pair for which an attack witness was constructed, or
+/// any mechanical error.
+pub fn assert_resists_merge<A: DetectionAlgorithm>(alg: &A) -> Result<(), MergeFailure> {
+    for i in 0..alg.n() as u32 {
+        for j in (i + 1)..alg.n() as u32 {
+            match merge_attack(alg, ProcessId::new(i), ProcessId::new(j)) {
+                Ok(None) => {}
+                Ok(Some(witness)) => return Err(MergeFailure::Witness(Box::new(witness))),
+                Err(e) => return Err(MergeFailure::Error(e)),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A merge-attack result against an algorithm expected to resist.
+#[derive(Debug)]
+pub enum MergeFailure {
+    /// A two-winner witness was constructed.
+    Witness(Box<MergeWitness>),
+    /// A mechanical error occurred.
+    Error(MergeError),
+}
+
+impl fmt::Display for MergeFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeFailure::Witness(w) => write!(f, "{w}"),
+            MergeFailure::Error(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_mutex::{BrokenDetector, LamportFast, MutexDetector, Splitter};
+
+    #[test]
+    fn splitter_resists_the_attack() {
+        let alg = Splitter::new(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                let p1 = solo_profile(&alg, ProcessId::new(i)).unwrap();
+                let p2 = solo_profile(&alg, ProcessId::new(j)).unwrap();
+                assert!(lemma2_condition(&p1, &p2), "pair ({i}, {j})");
+                assert!(merge_attack(&alg, ProcessId::new(i), ProcessId::new(j))
+                    .unwrap()
+                    .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn lamport_detector_resists_the_attack() {
+        let alg = MutexDetector::new(LamportFast::new(3));
+        for i in 0..3u32 {
+            for j in (i + 1)..3 {
+                assert!(merge_attack(&alg, ProcessId::new(i), ProcessId::new(j))
+                    .unwrap()
+                    .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn broken_detector_is_defeated() {
+        let alg = BrokenDetector::new(2);
+        let witness = merge_attack(&alg, ProcessId::new(0), ProcessId::new(1))
+            .unwrap()
+            .expect("attack must succeed");
+        assert_eq!(witness.pids, (ProcessId::new(0), ProcessId::new(1)));
+        let rendered = witness.to_string();
+        assert!(rendered.contains("both output 1"));
+    }
+
+    #[test]
+    fn solo_profiles_capture_reads_and_writes() {
+        let alg = Splitter::new(2);
+        let p = solo_profile(&alg, ProcessId::new(1)).unwrap();
+        // Writes: x chunk, then y.
+        assert_eq!(p.writes.len(), 2);
+        assert_eq!(p.output, Some(Value::ONE));
+        // Reads: y and the x chunk.
+        assert_eq!(p.reads.len(), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Randomized stress testing: safety monitors over long random schedules.
+//!
+//! The exhaustive explorer covers small systems completely; the stress
+//! harness covers larger systems probabilistically, checking mutual
+//! exclusion after **every** event of randomly scheduled runs.
+
+use cfc_core::{ExecError, Process, ProcessId, Scheduler, Section};
+use cfc_mutex::MutexAlgorithm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The result of a stress campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StressStats {
+    /// Runs executed.
+    pub runs: u64,
+    /// Total events across all runs.
+    pub events: u64,
+}
+
+/// A mutual-exclusion violation found by stress testing.
+#[derive(Clone, Debug)]
+pub struct MutexViolation {
+    /// The seed of the violating run.
+    pub seed: u64,
+    /// Number of processes simultaneously in the critical section.
+    pub in_cs: usize,
+    /// The event index at which the violation was observed.
+    pub at_event: u64,
+}
+
+impl std::fmt::Display for MutexViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mutual exclusion violated: {} in critical section (seed {}, event {})",
+            self.in_cs, self.seed, self.at_event
+        )
+    }
+}
+
+impl std::error::Error for MutexViolation {}
+
+/// Errors from the stress harness.
+#[derive(Debug)]
+pub enum StressError {
+    /// Mutual exclusion was violated.
+    Violation(MutexViolation),
+    /// Execution failed (budget exhaustion means suspected livelock).
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for StressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StressError::Violation(v) => write!(f, "{v}"),
+            StressError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StressError {}
+
+/// Runs `runs` random schedules of `trips`-trip clients, asserting mutual
+/// exclusion after every event.
+///
+/// Random schedules are not fair, so a run may be cut off by the event
+/// budget while processes still busy-wait; safety is checked up to that
+/// point and the run counts toward the campaign.
+///
+/// # Errors
+///
+/// Returns the first violation found, or an execution error.
+pub fn stress_mutex<A>(
+    alg: &A,
+    trips: u32,
+    runs: u64,
+    events_per_run: u64,
+) -> Result<StressStats, StressError>
+where
+    A: MutexAlgorithm,
+{
+    let mut stats = StressStats::default();
+    for seed in 0..runs {
+        // Dwell two steps in the critical section so simultaneous
+        // occupancy is observable by the monitor.
+        let clients: Vec<_> = (0..alg.n() as u32)
+            .map(|i| alg.client_with_cs(ProcessId::new(i), trips, 2))
+            .collect();
+        let memory = alg
+            .memory()
+            .map_err(|e| StressError::Exec(ExecError::from(e)))?;
+        let mut exec = cfc_core::Executor::new(memory, clients);
+        let mut sched = cfc_core::RandomSched::new(StdRng::seed_from_u64(seed));
+        let mut events = 0u64;
+        loop {
+            let runnable = exec.runnable();
+            if runnable.is_empty() || events >= events_per_run {
+                break;
+            }
+            let pid = sched.pick(&runnable).expect("random scheduler always picks");
+            exec.step_process(pid).map_err(StressError::Exec)?;
+            events += 1;
+            let in_cs = (0..alg.n() as u32)
+                .filter(|&i| {
+                    exec.process(ProcessId::new(i)).section() == Some(Section::Critical)
+                })
+                .count();
+            if in_cs > 1 {
+                return Err(StressError::Violation(MutexViolation {
+                    seed,
+                    in_cs,
+                    at_event: events,
+                }));
+            }
+        }
+        stats.runs += 1;
+        stats.events += events;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_mutex::{LamportFast, PetersonTwo, Tournament};
+
+    #[test]
+    fn lamport_survives_stress() {
+        let stats = stress_mutex(&LamportFast::new(4), 2, 30, 4_000).unwrap();
+        assert_eq!(stats.runs, 30);
+        assert!(stats.events > 0);
+    }
+
+    #[test]
+    fn peterson_survives_stress() {
+        stress_mutex(&PetersonTwo::new(), 3, 30, 2_000).unwrap();
+    }
+
+    #[test]
+    fn tournaments_survive_stress() {
+        stress_mutex(&Tournament::new(6, 1), 1, 20, 6_000).unwrap();
+        stress_mutex(&Tournament::new(9, 2), 1, 20, 8_000).unwrap();
+    }
+}

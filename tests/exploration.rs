@@ -1,0 +1,110 @@
+//! Cross-crate exhaustive verification: the heavier model-checking
+//! configurations (larger n / more trips / crash adversaries) that the
+//! per-crate unit tests keep small.
+
+use cfc::mutex::{ExitOrder, LamportFast, PetersonTwo, Splitter, SplitterTree, Tournament};
+use cfc::naming::{Dualized, TafTree, TasReadSearch, TasScan, TasTarTree};
+use cfc::verify::explore::ExploreConfig;
+use cfc::verify::{
+    check_detection_safety, check_mutex_safety, check_naming_uniqueness, ExploreError,
+};
+
+#[test]
+fn lamport_three_processes_every_interleaving_is_safe() {
+    let stats =
+        check_mutex_safety(&LamportFast::new(3), 1, ExploreConfig::default()).unwrap();
+    assert!(stats.states > 10_000);
+    assert!(stats.terminals > 0);
+}
+
+#[test]
+fn peterson_two_trips_exhaustive() {
+    check_mutex_safety(&PetersonTwo::new(), 3, ExploreConfig::default()).unwrap();
+}
+
+#[test]
+fn lamport_tournament_exhaustive() {
+    // 3-ary Lamport nodes, two levels.
+    check_mutex_safety(&Tournament::new(4, 2), 1, ExploreConfig::default()).unwrap();
+}
+
+#[test]
+fn peterson_tournament_five_processes_exhaustive() {
+    // Unbalanced binary tree (5 < 8 leaves): all interleavings.
+    check_mutex_safety(&Tournament::new(5, 1), 1, ExploreConfig::default()).unwrap();
+}
+
+#[test]
+fn unsafe_exit_order_caught_for_lamport_nodes_too() {
+    // The leaf-to-root release is unsafe for Lamport-node tournaments as
+    // well: releasing the leaf lets a same-slot successor climb into the
+    // still-held upper node, whose later release wipes the successor's
+    // announcement.
+    let alg = Tournament::new(4, 2).with_exit_order(ExitOrder::LeafToRoot);
+    match check_mutex_safety(&alg, 1, ExploreConfig::default()) {
+        Err(ExploreError::Violation(v)) => {
+            assert!(v.message.contains("critical section"));
+        }
+        Ok(stats) => {
+            // If exploration finds no violation for this small instance,
+            // the order merely *happens* to be safe here; the Peterson
+            // case in cfc-verify's unit tests is the definitive exhibit.
+            assert!(stats.states > 0);
+        }
+        Err(other) => panic!("unexpected exploration failure: {other}"),
+    }
+}
+
+#[test]
+fn detection_exhaustive_with_crashes() {
+    // A crash before deciding must not create a second winner.
+    let cfg = ExploreConfig {
+        max_crashes: 1,
+        ..Default::default()
+    };
+    check_detection_safety(&Splitter::new(3), cfg).unwrap();
+    check_detection_safety(&SplitterTree::new(3, 1), cfg).unwrap();
+}
+
+#[test]
+fn naming_exhaustive_under_double_crashes() {
+    let cfg = ExploreConfig::default();
+    check_naming_uniqueness(&TasScan::new(4), 2, cfg).unwrap();
+    check_naming_uniqueness(&TafTree::new(4).unwrap(), 2, cfg).unwrap();
+    check_naming_uniqueness(&TasReadSearch::new(4), 2, cfg).unwrap();
+}
+
+#[test]
+fn tas_tar_tree_exhaustive_with_crash() {
+    check_naming_uniqueness(&TasTarTree::new(4).unwrap(), 1, ExploreConfig::default()).unwrap();
+}
+
+#[test]
+fn dualized_algorithms_explore_identically() {
+    let base =
+        check_naming_uniqueness(&TasScan::new(3), 1, ExploreConfig::default()).unwrap();
+    let dual = check_naming_uniqueness(
+        &Dualized::new(TasScan::new(3)),
+        1,
+        ExploreConfig::default(),
+    )
+    .unwrap();
+    // Dualization is a bijection on runs: identical state-space size.
+    assert_eq!(base.states, dual.states);
+    assert_eq!(base.terminals, dual.terminals);
+}
+
+#[test]
+fn oversized_exploration_fails_gracefully() {
+    // Eight identical tree-walkers have ~15^8 joint states: far beyond
+    // any budget. The explorer must stop at its state cap with a clean
+    // error instead of consuming unbounded memory.
+    let cfg = ExploreConfig {
+        max_states: 50_000,
+        ..Default::default()
+    };
+    match check_naming_uniqueness(&TafTree::new(8).unwrap(), 0, cfg) {
+        Err(ExploreError::StateBudget(n)) => assert!(n > 50_000),
+        other => panic!("expected state-budget stop, got {other:?}"),
+    }
+}

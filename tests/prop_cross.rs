@@ -1,0 +1,125 @@
+//! Cross-crate property-based tests: random schedules, random crash
+//! plans, random parameters — safety and wait-freedom must hold for every
+//! algorithm in the workspace.
+
+use cfc::core::{FaultPlan, ProcessId};
+use cfc::mutex::{Bakery, DetectionAlgorithm, Dijkstra, Splitter, SplitterTree, Tournament};
+use cfc::naming::{check, TafTree, TasReadSearch, TasScan, TasTarTree};
+use cfc::verify::stress_mutex;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mutual exclusion holds on random schedules for random tournament
+    /// shapes.
+    #[test]
+    fn tournament_safety_random(
+        n in 2usize..7,
+        l in 1u32..4,
+        seed_runs in 1u64..4,
+    ) {
+        let alg = Tournament::new(n, l);
+        let stats = stress_mutex(&alg, 1, seed_runs, 20_000).unwrap();
+        prop_assert_eq!(stats.runs, seed_runs);
+    }
+
+    /// The classic baselines stay safe on random schedules too.
+    #[test]
+    fn baseline_mutex_safety_random(n in 2usize..6, runs in 1u64..3) {
+        stress_mutex(&Bakery::new(n), 1, runs, 20_000).unwrap();
+        stress_mutex(&Dijkstra::new(n), 1, runs, 20_000).unwrap();
+    }
+
+    /// Naming uniqueness + wait-freedom budgets hold under random
+    /// schedules and random crash plans, for every algorithm.
+    #[test]
+    fn naming_safety_random(
+        n_exp in 1u32..4,
+        seed in 0u64..1000,
+        crash_victim in 0usize..8,
+        crash_at in 0u64..6,
+    ) {
+        let n = 1usize << n_exp; // 2, 4, 8 (power of two for the trees)
+        let faults = if crash_victim < n {
+            FaultPlan::new().with_crash(ProcessId::new(crash_victim as u32), crash_at)
+        } else {
+            FaultPlan::new()
+        };
+        use rand::SeedableRng;
+        let sched = || cfc::core::RandomSched::new(rand::rngs::StdRng::seed_from_u64(seed));
+
+        check::run_checked(&TasScan::new(n), sched(), faults.clone()).unwrap();
+        check::run_checked(&TasReadSearch::new(n), sched(), faults.clone()).unwrap();
+        check::run_checked(&TafTree::new(n).unwrap(), sched(), faults.clone()).unwrap();
+        check::run_checked(&TasTarTree::new(n).unwrap(), sched(), faults).unwrap();
+    }
+
+    /// Detection never has two winners on random schedules.
+    #[test]
+    fn detection_safety_random(
+        n in 2usize..8,
+        l in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let alg = SplitterTree::new(n, l);
+        let procs = (0..n as u32).map(|i| alg.process(ProcessId::new(i))).collect();
+        let exec = cfc::core::run_schedule(
+            alg.memory().unwrap(),
+            procs,
+            cfc::core::RandomSched::new(rand::rngs::StdRng::seed_from_u64(seed)),
+            FaultPlan::new(),
+            cfc::core::ExecConfig::default(),
+        )
+        .unwrap();
+        let winners = exec
+            .outputs()
+            .into_iter()
+            .filter(|o| *o == Some(cfc::core::Value::ONE))
+            .count();
+        prop_assert!(winners <= 1);
+    }
+
+    /// The single-register splitter never has two winners either, and a
+    /// solo participant always wins.
+    #[test]
+    fn splitter_safety_random(n in 1usize..9, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let alg = Splitter::new(n);
+        let procs = (0..n as u32).map(|i| alg.process(ProcessId::new(i))).collect();
+        let exec = cfc::core::run_schedule(
+            alg.memory().unwrap(),
+            procs,
+            cfc::core::RandomSched::new(rand::rngs::StdRng::seed_from_u64(seed)),
+            FaultPlan::new(),
+            cfc::core::ExecConfig::default(),
+        )
+        .unwrap();
+        let winners = exec
+            .outputs()
+            .into_iter()
+            .filter(|o| *o == Some(cfc::core::Value::ONE))
+            .count();
+        prop_assert!(winners <= 1);
+        if n == 1 {
+            prop_assert_eq!(winners, 1);
+        }
+    }
+
+    /// Contention-free trips are schedule-independent: measuring twice
+    /// gives identical profiles (determinism of the measurement pipeline).
+    #[test]
+    fn contention_free_measurement_is_deterministic(
+        n in 2usize..64,
+        l in 1u32..6,
+        pid in 0usize..8,
+    ) {
+        let pid = ProcessId::new((pid % n) as u32);
+        let alg = Tournament::sparse(n, l, &[pid]);
+        let a = cfc::mutex::measure::contention_free_trip(&alg, pid).unwrap();
+        let b = cfc::mutex::measure::contention_free_trip(&alg, pid).unwrap();
+        prop_assert_eq!(a.total, b.total);
+        prop_assert_eq!(a.entry, b.entry);
+    }
+}

