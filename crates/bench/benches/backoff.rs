@@ -78,12 +78,19 @@ fn bench_backoff(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("backoff/time_per_section");
     group.sample_size(10);
-    for threads in [1usize, 2, max_threads] {
+    // Size the mutex for the whole sweep, not `max_threads`: on a
+    // single-core machine `max_threads` is 1 while the sweep still runs
+    // the 2-thread point (threads beyond the core count just time-slice).
+    let mut sweep = vec![1usize, 2, max_threads];
+    sweep.sort_unstable();
+    sweep.dedup();
+    let slots = *sweep.last().unwrap();
+    for threads in sweep {
         group.bench_with_input(
             BenchmarkId::new("plain", threads),
             &threads,
             |b, &threads| {
-                let m = FastMutex::new(max_threads);
+                let m = FastMutex::new(slots);
                 b.iter_custom(|rounds| {
                     (0..rounds)
                         .map(|_| time_per_section(&m, threads, 2_000) * (threads as u32 * 2_000))
@@ -95,7 +102,7 @@ fn bench_backoff(c: &mut Criterion) {
             BenchmarkId::new("backoff", threads),
             &threads,
             |b, &threads| {
-                let m = FastMutex::with_backoff(max_threads);
+                let m = FastMutex::with_backoff(slots);
                 b.iter_custom(|rounds| {
                     (0..rounds)
                         .map(|_| time_per_section(&m, threads, 2_000) * (threads as u32 * 2_000))

@@ -102,7 +102,11 @@ fn bench_contended(c: &mut Criterion) {
     let iters = 5_000u64;
     let mut group = c.benchmark_group("native/contended_sections");
     group.sample_size(10);
-    for threads in [2usize, max_threads] {
+    // Dedup so a 2-core machine does not register duplicate benchmark ids.
+    let mut sweep = vec![2usize, max_threads];
+    sweep.sort_unstable();
+    sweep.dedup();
+    for threads in sweep {
         group.throughput(Throughput::Elements(threads as u64 * iters));
         group.bench_with_input(
             BenchmarkId::new("lamport_fast", threads),

@@ -82,6 +82,82 @@ mod tests {
         }
     }
 
+    /// Minimal CSV reader matching `TextTable::to_csv`'s escaping rules
+    /// (RFC 4180 quoting: fields with `,`/`"`/newline are quoted, quotes
+    /// doubled). Test-only: production code never parses the artifacts.
+    fn parse_csv(text: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut cell = String::new();
+        let mut chars = text.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            if quoted {
+                match c {
+                    '"' if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        cell.push('"');
+                    }
+                    '"' => quoted = false,
+                    other => cell.push(other),
+                }
+            } else {
+                match c {
+                    '"' => quoted = true,
+                    ',' => row.push(std::mem::take(&mut cell)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut cell));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    other => cell.push(other),
+                }
+            }
+        }
+        if !cell.is_empty() || !row.is_empty() {
+            row.push(cell);
+            rows.push(row);
+        }
+        rows
+    }
+
+    #[test]
+    fn write_artifact_round_trips_a_table_to_csv() {
+        let mut table = TextTable::new(["n", "cf steps", "note"])
+            .with_title("round-trip artifact");
+        table.row(["2", "7", "plain"]);
+        table.row(["4096", "7", "comma, inside"]);
+        table.row(["65536", "7", "say \"hi\""]);
+
+        let path = write_artifact("test_round_trip", &table).unwrap();
+        assert!(path.ends_with("test_round_trip.csv"));
+        assert!(
+            path.parent().unwrap().ends_with("cfc-artifacts"),
+            "artifact must land under target/cfc-artifacts/, got {}",
+            path.display()
+        );
+
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, table.to_csv());
+
+        let cells = parse_csv(&written);
+        assert_eq!(cells[0], vec!["n", "cf steps", "note"]);
+        assert_eq!(cells[1], vec!["2", "7", "plain"]);
+        assert_eq!(cells[2], vec!["4096", "7", "comma, inside"]);
+        assert_eq!(cells[3], vec!["65536", "7", "say \"hi\""]);
+        assert_eq!(cells.len(), 4);
+    }
+
+    #[test]
+    fn write_artifact_overwrites_on_rewrite() {
+        let mut first = TextTable::new(["a"]);
+        first.row(["1"]);
+        let mut second = TextTable::new(["a"]);
+        second.row(["2"]);
+        write_artifact("test_overwrite", &first).unwrap();
+        let path = write_artifact("test_overwrite", &second).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), second.to_csv());
+    }
+
     #[test]
     fn distinct_words_collapses_packed_registers() {
         let mut layout = Layout::new();

@@ -1,0 +1,60 @@
+//! Smoke tests for the `examples/` binaries: each example's main path
+//! must run to completion and produce output.
+//!
+//! `cargo test` already compile-checks every example; these tests
+//! additionally *execute* them (in release mode, so the spin-lock
+//! experiments in `native_locks` finish quickly) through the same `cargo`
+//! that is running the tests. Each example asserts its own invariants
+//! internally (exact counters, distinct names, expected bound values), so
+//! "exits 0" is a meaningful check, not just liveness.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--release", "--example", name])
+        .env_remove("RUSTFLAGS") // keep fingerprints identical to the outer build
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} printed nothing on stdout"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn mutex_tournament_runs() {
+    run_example("mutex_tournament");
+}
+
+#[test]
+fn naming_models_runs() {
+    run_example("naming_models");
+}
+
+#[test]
+fn contention_detection_runs() {
+    run_example("contention_detection");
+}
+
+#[test]
+fn impossibility_runs() {
+    run_example("impossibility");
+}
+
+#[test]
+fn native_locks_runs() {
+    run_example("native_locks");
+}

@@ -1,6 +1,13 @@
 //! Cross-crate exhaustive verification: the heavier model-checking
 //! configurations (larger n / more trips / crash adversaries) that the
 //! per-crate unit tests keep small.
+//!
+//! Every exploration here is deterministic (DFS over a finite state
+//! space, no RNG anywhere) and carries an **explicit** state budget so a
+//! regression that blows up a state space fails fast with
+//! [`ExploreError::StateBudget`] instead of hanging CI. Budgets are sized
+//! ~2x the state count each instance actually visits (recorded in the
+//! comments), so they bound time and memory without being brittle.
 
 use cfc::mutex::{ExitOrder, LamportFast, PetersonTwo, Splitter, SplitterTree, Tournament};
 use cfc::naming::{Dualized, TafTree, TasReadSearch, TasScan, TasTarTree};
@@ -9,29 +16,38 @@ use cfc::verify::{
     check_detection_safety, check_mutex_safety, check_naming_uniqueness, ExploreError,
 };
 
+/// An explicit, crash-free budget for an exploration known to visit fewer
+/// than `max_states` states.
+fn budget(max_states: usize) -> ExploreConfig {
+    ExploreConfig {
+        max_states,
+        max_crashes: 0,
+    }
+}
+
 #[test]
 fn lamport_three_processes_every_interleaving_is_safe() {
-    let stats =
-        check_mutex_safety(&LamportFast::new(3), 1, ExploreConfig::default()).unwrap();
+    let stats = check_mutex_safety(&LamportFast::new(3), 1, budget(500_000)).unwrap();
     assert!(stats.states > 10_000);
     assert!(stats.terminals > 0);
 }
 
 #[test]
 fn peterson_two_trips_exhaustive() {
-    check_mutex_safety(&PetersonTwo::new(), 3, ExploreConfig::default()).unwrap();
+    check_mutex_safety(&PetersonTwo::new(), 3, budget(100_000)).unwrap();
 }
 
 #[test]
 fn lamport_tournament_exhaustive() {
-    // 3-ary Lamport nodes, two levels.
-    check_mutex_safety(&Tournament::new(4, 2), 1, ExploreConfig::default()).unwrap();
+    // 3-ary Lamport nodes, two levels; visits ~1.03M states.
+    check_mutex_safety(&Tournament::new(4, 2), 1, budget(2_000_000)).unwrap();
 }
 
 #[test]
 fn peterson_tournament_five_processes_exhaustive() {
-    // Unbalanced binary tree (5 < 8 leaves): all interleavings.
-    check_mutex_safety(&Tournament::new(5, 1), 1, ExploreConfig::default()).unwrap();
+    // Unbalanced binary tree (5 < 8 leaves): all interleavings,
+    // ~515k states.
+    check_mutex_safety(&Tournament::new(5, 1), 1, budget(1_000_000)).unwrap();
 }
 
 #[test]
@@ -41,7 +57,7 @@ fn unsafe_exit_order_caught_for_lamport_nodes_too() {
     // still-held upper node, whose later release wipes the successor's
     // announcement.
     let alg = Tournament::new(4, 2).with_exit_order(ExitOrder::LeafToRoot);
-    match check_mutex_safety(&alg, 1, ExploreConfig::default()) {
+    match check_mutex_safety(&alg, 1, budget(2_000_000)) {
         Err(ExploreError::Violation(v)) => {
             assert!(v.message.contains("critical section"));
         }
@@ -59,8 +75,8 @@ fn unsafe_exit_order_caught_for_lamport_nodes_too() {
 fn detection_exhaustive_with_crashes() {
     // A crash before deciding must not create a second winner.
     let cfg = ExploreConfig {
+        max_states: 200_000,
         max_crashes: 1,
-        ..Default::default()
     };
     check_detection_safety(&Splitter::new(3), cfg).unwrap();
     check_detection_safety(&SplitterTree::new(3, 1), cfg).unwrap();
@@ -68,7 +84,7 @@ fn detection_exhaustive_with_crashes() {
 
 #[test]
 fn naming_exhaustive_under_double_crashes() {
-    let cfg = ExploreConfig::default();
+    let cfg = budget(500_000);
     check_naming_uniqueness(&TasScan::new(4), 2, cfg).unwrap();
     check_naming_uniqueness(&TafTree::new(4).unwrap(), 2, cfg).unwrap();
     check_naming_uniqueness(&TasReadSearch::new(4), 2, cfg).unwrap();
@@ -76,17 +92,16 @@ fn naming_exhaustive_under_double_crashes() {
 
 #[test]
 fn tas_tar_tree_exhaustive_with_crash() {
-    check_naming_uniqueness(&TasTarTree::new(4).unwrap(), 1, ExploreConfig::default()).unwrap();
+    check_naming_uniqueness(&TasTarTree::new(4).unwrap(), 1, budget(500_000)).unwrap();
 }
 
 #[test]
 fn dualized_algorithms_explore_identically() {
-    let base =
-        check_naming_uniqueness(&TasScan::new(3), 1, ExploreConfig::default()).unwrap();
+    let base = check_naming_uniqueness(&TasScan::new(3), 1, budget(100_000)).unwrap();
     let dual = check_naming_uniqueness(
         &Dualized::new(TasScan::new(3)),
         1,
-        ExploreConfig::default(),
+        budget(100_000),
     )
     .unwrap();
     // Dualization is a bijection on runs: identical state-space size.

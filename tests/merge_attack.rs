@@ -1,6 +1,12 @@
 //! E10: the Lemma 2 machinery, end to end. Correct detectors satisfy the
 //! lemma's condition on every pair (so the merge cannot be built); the
 //! broken constant detector is actually merged into a two-winner run.
+//!
+//! Everything here is deterministic and time-bounded by construction: the
+//! attack schedule is derived from solo profiles (no RNG anywhere), and
+//! `merge_attack` carries an internal step guard that turns a
+//! non-terminating merged run into `MergeError::Diverged` instead of a
+//! hang, so CI cannot flake on this suite.
 
 use cfc::core::{ProcessId, Value};
 use cfc::mutex::{BrokenDetector, LamportFast, MutexDetector, Splitter, Tournament};
