@@ -1,0 +1,261 @@
+//! Read/write footprints of atomic steps over shared locations.
+//!
+//! Partial-order reduction (in `cfc-verify`) needs an *independence
+//! relation* between the atomic steps of different processes: two steps
+//! commute — executing them in either order reaches the same state —
+//! exactly when their footprints do not conflict, i.e. no location is
+//! written by one and accessed by the other. The locations of the paper's
+//! model are shared registers; a [`RegisterSet`] is a compact bitset of
+//! them, and a [`Footprint`] splits one step's accessed locations into a
+//! read set and a write set according to the step's [`AccessClass`].
+//!
+//! [`AccessClass`]: crate::AccessClass
+
+use crate::ids::RegisterId;
+use crate::layout::Layout;
+use crate::op::{Op, Step};
+
+/// A set of shared locations (registers), stored as a bitset.
+///
+/// Used both for step footprints and for the
+/// [`Process::may_access`](crate::Process::may_access) over-approximation
+/// of a process's future accesses.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct RegisterSet {
+    words: Vec<u64>,
+}
+
+impl RegisterSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        RegisterSet::default()
+    }
+
+    /// Adds a register to the set.
+    pub fn insert(&mut self, r: RegisterId) {
+        let i = r.index();
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (i % 64);
+    }
+
+    /// Adds every register of an iterator.
+    pub fn extend(&mut self, regs: impl IntoIterator<Item = RegisterId>) {
+        for r in regs {
+            self.insert(r);
+        }
+    }
+
+    /// Removes every member, keeping the allocation.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Is the register a member?
+    pub fn contains(&self, r: RegisterId) -> bool {
+        let i = r.index();
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Do the two sets share a member?
+    pub fn intersects(&self, other: &RegisterSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Adds every member of `other`.
+    pub fn union_with(&mut self, other: &RegisterSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// The number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The read and write location sets of one atomic step.
+///
+/// Steps that never touch shared memory ([`Step::Internal`],
+/// [`Step::Halt`]) have the empty footprint and are independent of
+/// everything.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Locations the step observes.
+    pub reads: RegisterSet,
+    /// Locations the step mutates.
+    pub writes: RegisterSet,
+}
+
+impl Footprint {
+    /// The footprint of one operation under a layout.
+    ///
+    /// Read–modify–write bit operations put their register in both sets;
+    /// packed-word operations cover every accessed field.
+    pub fn of_op(op: &Op, layout: &Layout) -> Footprint {
+        let mut fp = Footprint::default();
+        let class = op.class();
+        for r in op.registers(layout) {
+            if class.reads() {
+                fp.reads.insert(r);
+            }
+            if class.writes() {
+                fp.writes.insert(r);
+            }
+        }
+        fp
+    }
+
+    /// The footprint of one step: its operation's footprint, or the empty
+    /// footprint for internal/halt steps.
+    pub fn of_step(step: &Step, layout: &Layout) -> Footprint {
+        match step.op() {
+            Some(op) => Footprint::of_op(op, layout),
+            None => Footprint::default(),
+        }
+    }
+
+    /// Do two steps with these footprints commute?
+    ///
+    /// Independence in the classical partial-order-reduction sense: no
+    /// location is written by one and read or written by the other, so
+    /// executing the steps in either order yields the same memory, the
+    /// same results, and hence the same successor state.
+    pub fn independent(&self, other: &Footprint) -> bool {
+        !self.writes.intersects(&other.writes)
+            && !self.writes.intersects(&other.reads)
+            && !self.reads.intersects(&other.writes)
+    }
+
+    /// Does the step access any location of `set` (reading or writing)?
+    ///
+    /// Conservative conflict test against a location set with unknown
+    /// read/write split, such as a [`Process::may_access`]
+    /// over-approximation.
+    ///
+    /// [`Process::may_access`]: crate::Process::may_access
+    pub fn touches(&self, set: &RegisterSet) -> bool {
+        self.reads.intersects(set) || self.writes.intersects(set)
+    }
+
+    /// Does the step touch no shared location at all?
+    pub fn is_local(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitop::BitOp;
+    use crate::value::Value;
+
+    fn regs() -> (Layout, RegisterId, RegisterId, RegisterId) {
+        let mut layout = Layout::new();
+        let a = layout.bit("a", false);
+        let b = layout.bit("b", false);
+        let c = layout.bit("c", false);
+        (layout, a, b, c)
+    }
+
+    #[test]
+    fn register_set_basics() {
+        let (_, a, b, _) = regs();
+        let mut s = RegisterSet::new();
+        assert!(s.is_empty());
+        s.insert(a);
+        assert!(s.contains(a));
+        assert!(!s.contains(b));
+        assert_eq!(s.len(), 1);
+        let mut t = RegisterSet::new();
+        t.insert(b);
+        assert!(!s.intersects(&t));
+        t.insert(a);
+        assert!(s.intersects(&t));
+        s.union_with(&t);
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn register_set_spans_many_words() {
+        let mut s = RegisterSet::new();
+        s.insert(RegisterId::new(130));
+        assert!(s.contains(RegisterId::new(130)));
+        assert!(!s.contains(RegisterId::new(2)));
+        let mut t = RegisterSet::new();
+        t.insert(RegisterId::new(2));
+        assert!(!s.intersects(&t));
+        assert!(!t.intersects(&s));
+    }
+
+    #[test]
+    fn read_write_classification() {
+        let (layout, a, _, _) = regs();
+        let read = Footprint::of_op(&Op::Read(a), &layout);
+        assert!(read.reads.contains(a) && read.writes.is_empty());
+        let write = Footprint::of_op(&Op::Write(a, Value::ONE), &layout);
+        assert!(write.writes.contains(a) && write.reads.is_empty());
+        let rmw = Footprint::of_op(&Op::Bit(a, BitOp::TestAndSet), &layout);
+        assert!(rmw.reads.contains(a) && rmw.writes.contains(a));
+    }
+
+    #[test]
+    fn independence_is_conflict_freedom() {
+        let (layout, a, b, _) = regs();
+        let read_a = Footprint::of_op(&Op::Read(a), &layout);
+        let read_a2 = read_a.clone();
+        let write_a = Footprint::of_op(&Op::Write(a, Value::ONE), &layout);
+        let write_b = Footprint::of_op(&Op::Write(b, Value::ONE), &layout);
+        // Two reads of the same register commute.
+        assert!(read_a.independent(&read_a2));
+        // Read/write and write/write on the same register conflict.
+        assert!(!read_a.independent(&write_a));
+        assert!(!write_a.independent(&write_a.clone()));
+        // Accesses to distinct registers commute.
+        assert!(write_a.independent(&write_b));
+        assert!(read_a.independent(&write_b));
+    }
+
+    #[test]
+    fn local_steps_have_empty_footprints() {
+        let (layout, a, _, _) = regs();
+        assert!(Footprint::of_step(&Step::Internal, &layout).is_local());
+        assert!(Footprint::of_step(&Step::Halt, &layout).is_local());
+        let op = Footprint::of_step(&Step::Op(Op::Read(a)), &layout);
+        assert!(!op.is_local());
+        // Empty footprints are independent of everything.
+        assert!(Footprint::default().independent(&op));
+    }
+
+    #[test]
+    fn touches_is_conservative() {
+        let (layout, a, b, _) = regs();
+        let read_a = Footprint::of_op(&Op::Read(a), &layout);
+        let mut may = RegisterSet::new();
+        may.insert(b);
+        assert!(!read_a.touches(&may));
+        may.insert(a);
+        // Even a pure read "touches" a set that might be written.
+        assert!(read_a.touches(&may));
+    }
+}

@@ -70,6 +70,7 @@ mod bitop;
 mod error;
 mod exec;
 mod fault;
+mod footprint;
 mod ids;
 mod layout;
 mod memory;
@@ -77,6 +78,7 @@ pub mod metrics;
 mod op;
 mod process;
 mod sched;
+mod sym;
 mod trace;
 mod value;
 
@@ -84,12 +86,14 @@ pub use bitop::BitOp;
 pub use error::{ExecError, LayoutError, MemoryError};
 pub use exec::{run_schedule, run_sequential, run_solo, ExecConfig, Executor, Outcome, Status};
 pub use fault::FaultPlan;
+pub use footprint::{Footprint, RegisterSet};
 pub use ids::{ProcessId, RegisterId, WordId};
 pub use layout::{Layout, RegisterSpec};
 pub use memory::Memory;
 pub use metrics::Complexity;
 pub use op::{AccessClass, Op, OpResult, Step};
 pub use process::{Process, Section};
+pub use sym::SymmetryGroup;
 pub use sched::{FixedOrder, Lockstep, RandomSched, RoundRobin, Scheduler, Sequential, Solo};
 pub use trace::{Event, EventKind, Trace};
 pub use value::{bits_for, mask, Value, MAX_WIDTH};

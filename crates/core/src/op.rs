@@ -83,6 +83,17 @@ impl Op {
         }
     }
 
+    /// The read/write footprint of this operation: its accessed registers,
+    /// split into read and write location sets by [`Op::class`].
+    ///
+    /// Two operations whose footprints are
+    /// [`independent`](crate::Footprint::independent) commute; the
+    /// partial-order-reduced explorer in `cfc-verify` is built on this
+    /// relation.
+    pub fn footprint(&self, layout: &Layout) -> crate::Footprint {
+        crate::Footprint::of_op(self, layout)
+    }
+
     /// The total number of bits this operation touches.
     ///
     /// The corollary to Theorem 1 counts accesses *to shared bits*: one
@@ -185,6 +196,13 @@ impl Step {
             Step::Op(op) => Some(op),
             _ => None,
         }
+    }
+
+    /// The read/write footprint of this step: the operation's footprint,
+    /// or the empty footprint for [`Step::Internal`] and [`Step::Halt`]
+    /// (purely local steps are independent of everything).
+    pub fn footprint(&self, layout: &Layout) -> crate::Footprint {
+        crate::Footprint::of_step(self, layout)
     }
 }
 

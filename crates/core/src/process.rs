@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::footprint::RegisterSet;
 use crate::op::{OpResult, Step};
 use crate::value::Value;
 
@@ -79,6 +80,32 @@ pub trait Process {
     fn section(&self) -> Option<Section> {
         None
     }
+
+    /// A 64-bit fingerprint of the process's local state, used by the
+    /// symmetry-reduced explorer in `cfc-verify` to canonically order
+    /// interchangeable processes.
+    ///
+    /// The fingerprint must be a pure function of the local state, and
+    /// should be injective on the states one algorithm instance can reach
+    /// (collisions are sound — they only forfeit orbit merges). Defaults
+    /// to `None`, in which case the explorer falls back to hashing the
+    /// full state via the process's `Hash` implementation.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Writes an over-approximation of every shared location this process
+    /// may access in the current step **or any future step** (under any
+    /// operation results) into `out`, returning `true`; returns `false`
+    /// when no such bound is known (the default), which partial-order
+    /// reduction treats as "may access everything".
+    ///
+    /// Contract: the set must be *monotone* — advancing the process never
+    /// grows it — and must cover the current step's footprint. Callers
+    /// pass `out` pre-cleared.
+    fn may_access(&self, _out: &mut RegisterSet) -> bool {
+        false
+    }
 }
 
 impl<P: Process + ?Sized> Process for Box<P> {
@@ -96,6 +123,14 @@ impl<P: Process + ?Sized> Process for Box<P> {
 
     fn section(&self) -> Option<Section> {
         (**self).section()
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        (**self).fingerprint()
+    }
+
+    fn may_access(&self, out: &mut RegisterSet) -> bool {
+        (**self).may_access(out)
     }
 }
 

@@ -1,0 +1,140 @@
+//! Process-symmetry groups for state-space reduction.
+//!
+//! Many of the paper's algorithms run sets of *interchangeable* processes:
+//! the naming algorithms of Section 3 are **structurally** symmetric —
+//! every participant starts from the identical state and diverges only
+//! through returned bit values — and the mutual-exclusion clients step
+//! through index-oblivious semantics (the executor never consults a
+//! process's position when applying its operations). A [`SymmetryGroup`]
+//! records which process indices may be permuted without changing the
+//! behaviour of the system, as a partition of `0..n` into classes; the
+//! symmetry-reduced explorer in `cfc-verify` canonicalizes visited-state
+//! keys by sorting the local states of each class, exploring one
+//! representative per orbit.
+
+/// A partition of the process indices `0..n` into classes of
+/// interchangeable processes.
+///
+/// Soundness contract: permuting the processes of one class (their local
+/// states and liveness statuses, leaving shared memory untouched) must map
+/// reachable global states to equally-behaving global states. This holds
+/// whenever processes of a class run the same program text parameterized
+/// only by their local state — true for all algorithms in this workspace,
+/// where a process's next step is a pure function of its own state.
+/// Checked properties must additionally be invariant under such
+/// permutations (e.g. "at most one process in the critical section",
+/// "decided names are pairwise distinct").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymmetryGroup {
+    n: usize,
+    classes: Vec<Vec<usize>>,
+}
+
+impl SymmetryGroup {
+    /// The trivial group over `n` processes: nothing is interchangeable.
+    ///
+    /// Under this group, symmetry reduction is the identity — the reduced
+    /// explorer behaves exactly like the baseline.
+    pub fn trivial(n: usize) -> Self {
+        SymmetryGroup {
+            n,
+            classes: Vec::new(),
+        }
+    }
+
+    /// The full symmetric group over `n` processes: every pair of
+    /// processes is interchangeable.
+    pub fn full(n: usize) -> Self {
+        let classes = if n >= 2 {
+            vec![(0..n).collect()]
+        } else {
+            Vec::new()
+        };
+        SymmetryGroup { n, classes }
+    }
+
+    /// A group from explicit classes; singleton and empty classes are
+    /// dropped (they contribute nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is `>= n` or appears in two classes.
+    pub fn from_classes(n: usize, classes: Vec<Vec<usize>>) -> Self {
+        let mut seen = vec![false; n];
+        let mut kept = Vec::new();
+        for mut class in classes {
+            class.sort_unstable();
+            for &i in &class {
+                assert!(i < n, "symmetry class index {i} out of range (n = {n})");
+                assert!(!seen[i], "process {i} appears in two symmetry classes");
+                seen[i] = true;
+            }
+            if class.len() >= 2 {
+                kept.push(class);
+            }
+        }
+        SymmetryGroup { n, classes: kept }
+    }
+
+    /// The number of processes the group is defined over.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The non-singleton classes, each sorted ascending.
+    pub fn classes(&self) -> &[Vec<usize>] {
+        &self.classes
+    }
+
+    /// Does the group permit no permutation at all?
+    pub fn is_trivial(&self) -> bool {
+        self.classes.iter().all(|c| c.len() < 2)
+    }
+
+    /// The product of the class factorials: how many permutations the
+    /// group admits (the maximal orbit size).
+    pub fn order(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| (1..=c.len() as u64).product::<u64>())
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_and_full() {
+        assert!(SymmetryGroup::trivial(4).is_trivial());
+        assert_eq!(SymmetryGroup::trivial(4).order(), 1);
+        let full = SymmetryGroup::full(4);
+        assert!(!full.is_trivial());
+        assert_eq!(full.classes(), &[vec![0, 1, 2, 3]]);
+        assert_eq!(full.order(), 24);
+        // Degenerate sizes are trivial.
+        assert!(SymmetryGroup::full(1).is_trivial());
+        assert!(SymmetryGroup::full(0).is_trivial());
+    }
+
+    #[test]
+    fn from_classes_drops_singletons_and_sorts() {
+        let g = SymmetryGroup::from_classes(5, vec![vec![3, 1], vec![2], vec![]]);
+        assert_eq!(g.classes(), &[vec![1, 3]]);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.order(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two symmetry classes")]
+    fn overlapping_classes_rejected() {
+        let _ = SymmetryGroup::from_classes(3, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = SymmetryGroup::from_classes(2, vec![vec![0, 5]]);
+    }
+}

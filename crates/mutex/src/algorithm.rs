@@ -1,6 +1,9 @@
 //! Traits tying mutual-exclusion algorithms to the execution model.
 
-use cfc_core::{Layout, Memory, MemoryError, OpResult, Process, ProcessId, Section, Step};
+use cfc_core::{
+    Layout, Memory, MemoryError, OpResult, Process, ProcessId, RegisterSet, Section, Step,
+    SymmetryGroup,
+};
 
 /// The entry/exit state machine of one mutual-exclusion participant.
 ///
@@ -28,6 +31,20 @@ pub trait LockProcess {
 
     /// Advances past the step returned by [`LockProcess::current`].
     fn advance(&mut self, result: OpResult);
+
+    /// Writes the set of every register this lock may access in **any**
+    /// phase (entry or exit, over any number of acquire/release cycles)
+    /// into `out`, returning `true`; returns `false` (the default) when no
+    /// such static bound is known.
+    ///
+    /// [`MutexClient`] forwards this as its
+    /// [`Process::may_access`] over-approximation, which lets the
+    /// partial-order-reduced explorer treat clients operating on disjoint
+    /// register sets — e.g. processes climbing disjoint subtrees of a
+    /// tournament — as independent.
+    fn protocol_footprint(&self, _out: &mut RegisterSet) -> bool {
+        false
+    }
 }
 
 /// A mutual-exclusion algorithm for `n` processes: a recipe producing the
@@ -54,6 +71,21 @@ pub trait MutexAlgorithm {
 
     /// The lock state machine for participant `pid` (`pid.index() < n`).
     fn lock(&self, pid: ProcessId) -> Self::Lock;
+
+    /// The process-symmetry group of this algorithm, consumed by the
+    /// symmetry-reduced explorer in `cfc-verify`.
+    ///
+    /// Defaults to the trivial group. Stepping is index-oblivious in this
+    /// model (a client's next op is a pure function of its local state),
+    /// so algorithms may soundly declare
+    /// [`SymmetryGroup::full`] whenever the exhaustive checks applied to
+    /// them are permutation-invariant; for clients whose lock state embeds
+    /// a distinct identity the quotient rarely merges anything, but the
+    /// declaration keeps the differential harness meaningful across both
+    /// problem families.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::trivial(self.n())
+    }
 
     /// A fresh shared memory for this algorithm.
     ///
@@ -202,6 +234,17 @@ impl<L: LockProcess> Process for MutexClient<L> {
 
     fn section(&self) -> Option<Section> {
         Some(self.section)
+    }
+
+    fn may_access(&self, out: &mut RegisterSet) -> bool {
+        if self.section == Section::Remainder {
+            // All trips done: the client never touches shared memory again.
+            return true;
+        }
+        // The lock's static protocol footprint covers every remaining
+        // entry/exit cycle, so it stays a sound over-approximation for
+        // multi-trip clients too.
+        self.lock.protocol_footprint(out)
     }
 }
 

@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, Step, Value};
+use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup, Value};
 
 use crate::algorithm::{LockProcess, MutexAlgorithm};
 
@@ -109,6 +109,13 @@ impl MutexAlgorithm for Bakery {
             max_seen: 0,
             my_number: 0,
         }
+    }
+
+    /// Every customer runs the same index-oblivious program text (its
+    /// index is part of the lock's local state), so the full group is
+    /// sound for the permutation-invariant exhaustive checks.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::full(self.n)
     }
 }
 
@@ -225,6 +232,12 @@ impl LockProcess for BakeryLock {
             }
             Pc::ExitWriteNumber => Pc::ExitDone,
         };
+    }
+
+    fn protocol_footprint(&self, out: &mut RegisterSet) -> bool {
+        out.extend(self.choosing.iter().copied());
+        out.extend(self.number.iter().copied());
+        true
     }
 }
 

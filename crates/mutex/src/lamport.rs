@@ -207,6 +207,13 @@ impl LockProcess for LamportLock {
         }
     }
 
+    fn protocol_footprint(&self, out: &mut cfc_core::RegisterSet) -> bool {
+        out.insert(self.x);
+        out.insert(self.y);
+        out.extend(self.b.iter().copied());
+        true
+    }
+
     fn advance(&mut self, result: OpResult) {
         self.pc = match self.pc {
             Pc::Idle | Pc::EntryDone | Pc::ExitDone => {

@@ -16,7 +16,7 @@
 //! Contention-free entry costs 3 accesses (`flag[i]`, `turn`, `flag[j]`)
 //! and exit costs 1, touching 3 distinct bits.
 
-use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, Step, Value};
+use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup, Value};
 
 use crate::algorithm::{LockProcess, MutexAlgorithm};
 
@@ -71,6 +71,13 @@ impl MutexAlgorithm for PetersonTwo {
     fn lock(&self, pid: ProcessId) -> PetersonLock {
         assert!(pid.index() < 2, "pid out of range");
         PetersonLock::new(self.flags, self.turn, pid.index())
+    }
+
+    /// Both sides run the same index-oblivious program text (the side is
+    /// part of the lock's local state), so the full group is sound for
+    /// the permutation-invariant exhaustive checks.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::full(2)
     }
 }
 
@@ -165,6 +172,13 @@ impl LockProcess for PetersonLock {
             }
             Pc::ExitWriteFlag => Pc::ExitDone,
         };
+    }
+
+    fn protocol_footprint(&self, out: &mut RegisterSet) -> bool {
+        out.insert(self.flags[0]);
+        out.insert(self.flags[1]);
+        out.insert(self.turn);
+        true
     }
 }
 

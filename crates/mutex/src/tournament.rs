@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cfc_core::{Layout, OpResult, ProcessId, RegisterId, Step};
+use cfc_core::{Layout, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup};
 
 use crate::algorithm::{LockProcess, MutexAlgorithm};
 use crate::lamport::LamportLock;
@@ -253,6 +253,13 @@ impl MutexAlgorithm for Tournament {
             exit_order: self.exit_order,
         }
     }
+
+    /// Every participant runs the same index-oblivious climb (its path and
+    /// slots live in the lock's local state), so the full group is sound
+    /// for the permutation-invariant exhaustive checks.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::full(self.n)
+    }
 }
 
 /// A node lock: Lamport for `l ≥ 2`, Peterson for `l = 1`.
@@ -288,6 +295,13 @@ impl LockProcess for NodeLock {
         match self {
             NodeLock::Lamport(l) => l.advance(result),
             NodeLock::Peterson(p) => p.advance(result),
+        }
+    }
+
+    fn protocol_footprint(&self, out: &mut RegisterSet) -> bool {
+        match self {
+            NodeLock::Lamport(l) => l.protocol_footprint(out),
+            NodeLock::Peterson(p) => p.protocol_footprint(out),
         }
     }
 }
@@ -385,6 +399,14 @@ impl LockProcess for TournamentLock {
             _ => unreachable!("advance called outside a phase"),
         }
         self.settle();
+    }
+
+    /// The union of the path's node footprints: two processes whose leaf
+    /// paths share no node are independent for their entire protocol,
+    /// which is what lets the reduced explorer serialize disjoint
+    /// subtrees.
+    fn protocol_footprint(&self, out: &mut RegisterSet) -> bool {
+        self.nodes.iter().all(|n| n.protocol_footprint(out))
     }
 }
 

@@ -1,6 +1,6 @@
 //! The naming-algorithm abstraction.
 
-use cfc_core::{Layout, Memory, MemoryError, Process};
+use cfc_core::{Layout, Memory, MemoryError, Process, SymmetryGroup};
 
 use crate::model::Model;
 
@@ -52,6 +52,18 @@ pub trait NamingAlgorithm {
     /// `n` identical participant processes.
     fn processes(&self) -> Vec<Self::Proc> {
         (0..self.n()).map(|_| self.process()).collect()
+    }
+
+    /// The process-symmetry group: the **full** group over all `n`
+    /// participants.
+    ///
+    /// Symmetry is structural for naming — [`NamingAlgorithm::process`]
+    /// takes no identity, so every participant starts identical and any
+    /// permutation of the process vector is an automorphism of the state
+    /// graph. The symmetry-reduced explorer in `cfc-verify` exploits this
+    /// to explore one representative per orbit.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::full(self.n())
     }
 }
 

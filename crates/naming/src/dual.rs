@@ -103,6 +103,16 @@ pub struct DualProc<P> {
 }
 
 impl<P: Process> Process for DualProc<P> {
+    fn fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint()
+    }
+
+    fn may_access(&self, out: &mut cfc_core::RegisterSet) -> bool {
+        // The dual layout rebuilds the same registers in the same order,
+        // so the inner over-approximation carries over unchanged.
+        self.inner.may_access(out)
+    }
+
     fn current(&self) -> Step {
         match self.inner.current() {
             Step::Op(Op::Bit(r, op)) => Step::Op(Op::Bit(r, op.dual())),

@@ -13,10 +13,23 @@
 
 use std::sync::Arc;
 
-use cfc_core::{BitOp, Layout, Op, OpResult, Process, RegisterId, Step, Value};
+use cfc_core::{BitOp, Layout, Op, OpResult, Process, RegisterId, RegisterSet, Step, Value};
 
 use crate::algorithm::NamingAlgorithm;
 use crate::model::Model;
+
+/// Inserts every register of the heap subtree rooted at 1-based node `v`
+/// into `out` — the set of nodes a tree walker at `v` can still reach.
+/// Shared by the `test-and-flip` and `test-and-set`/`test-and-reset`
+/// trees, whose layouts are identical.
+pub(crate) fn insert_subtree(nodes: &[RegisterId], v: u64, out: &mut RegisterSet) {
+    if v == 0 || v > nodes.len() as u64 {
+        return;
+    }
+    out.insert(nodes[(v - 1) as usize]);
+    insert_subtree(nodes, 2 * v, out);
+    insert_subtree(nodes, 2 * v + 1, out);
+}
 
 /// The `test-and-flip` tree naming algorithm.
 ///
@@ -164,6 +177,22 @@ impl Process for TreeWalkProc {
             TreePc::Done(name) => Some(Value::new(name)),
             _ => None,
         }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // Injective per instance: heap positions and names are disjointly
+        // tagged by the low bit.
+        Some(match self.pc {
+            TreePc::AtNode(v) => v << 1,
+            TreePc::Done(name) => (name << 1) | 1,
+        })
+    }
+
+    fn may_access(&self, out: &mut RegisterSet) -> bool {
+        if let TreePc::AtNode(v) = self.pc {
+            insert_subtree(&self.nodes, v, out);
+        }
+        true
     }
 }
 

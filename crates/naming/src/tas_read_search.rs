@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use cfc_core::{BitOp, Layout, Op, OpResult, Process, RegisterId, Step, Value};
+use cfc_core::{BitOp, Layout, Op, OpResult, Process, RegisterId, RegisterSet, Step, Value};
 
 use crate::algorithm::NamingAlgorithm;
 use crate::model::Model;
@@ -157,6 +157,30 @@ impl Process for TasReadSearchProc {
             SearchPc::Done(name) => Some(Value::new(name)),
             _ => None,
         }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // Low 4 bits tag the variant; indices are far below 2^30.
+        Some(match self.pc {
+            SearchPc::Search { lo, hi } => (lo << 34) | (hi << 4),
+            SearchPc::Probe(i) => (i << 4) | 1,
+            SearchPc::Scan(i) => (i << 4) | 2,
+            SearchPc::Done(name) => (name << 4) | 3,
+        })
+    }
+
+    fn may_access(&self, out: &mut RegisterSet) -> bool {
+        let start = match self.pc {
+            // The search never looks below `lo` again — except for the
+            // everything-taken conclusion, which re-probes the last bit.
+            SearchPc::Search { lo, .. } => {
+                lo.min((self.bits.len() as u64).saturating_sub(1))
+            }
+            SearchPc::Probe(i) | SearchPc::Scan(i) => i,
+            SearchPc::Done(_) => return true,
+        };
+        out.extend(self.bits[start as usize..].iter().copied());
+        true
     }
 }
 

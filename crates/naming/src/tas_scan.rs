@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use cfc_core::{BitOp, Layout, Op, OpResult, Process, RegisterId, Step, Value};
+use cfc_core::{BitOp, Layout, Op, OpResult, Process, RegisterId, RegisterSet, Step, Value};
 
 use crate::algorithm::NamingAlgorithm;
 use crate::model::Model;
@@ -134,6 +134,21 @@ impl Process for TasScanProc {
             ScanPc::Done(name) => Some(Value::new(name)),
             _ => None,
         }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(match self.pc {
+            ScanPc::Scan(i) => u64::from(i) << 1,
+            ScanPc::Done(name) => (name << 1) | 1,
+        })
+    }
+
+    fn may_access(&self, out: &mut RegisterSet) -> bool {
+        if let ScanPc::Scan(i) = self.pc {
+            // The scan only ever moves right: bits before `i` are settled.
+            out.extend(self.bits[i as usize..].iter().copied());
+        }
+        true
     }
 }
 

@@ -25,7 +25,7 @@ use cfc_core::{BitOp, Layout, Op, OpResult, Process, RegisterId, Step, Value};
 
 use crate::algorithm::NamingAlgorithm;
 use crate::model::Model;
-use crate::taf_tree::NotAPowerOfTwo;
+use crate::taf_tree::{insert_subtree, NotAPowerOfTwo};
 
 /// The `test-and-set`/`test-and-reset` alternation tree.
 #[derive(Clone, Debug)]
@@ -149,6 +149,22 @@ impl Process for TasTarTreeProc {
             TreePc::Done(name) => Some(Value::new(name)),
             _ => None,
         }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(match self.pc {
+            TreePc::AtNode(v, op) => {
+                (v << 2) | u64::from(matches!(op, cfc_core::BitOp::TestAndReset))
+            }
+            TreePc::Done(name) => (name << 2) | 2,
+        })
+    }
+
+    fn may_access(&self, out: &mut cfc_core::RegisterSet) -> bool {
+        if let TreePc::AtNode(v, _) = self.pc {
+            insert_subtree(&self.nodes, v, out);
+        }
+        true
     }
 }
 

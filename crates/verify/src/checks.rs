@@ -6,7 +6,7 @@ use cfc_core::{Process, Section, Status, Value};
 use cfc_mutex::{DetectionAlgorithm, MutexAlgorithm};
 use cfc_naming::NamingAlgorithm;
 
-use crate::explore::{explore, ExploreConfig, ExploreError, ExploreStats, StateView};
+use crate::explore::{explore_sym, ExploreConfig, ExploreError, ExploreStats, StateView};
 
 /// Exhaustively verifies mutual exclusion: across **every** interleaving
 /// of `trips`-trip clients, no two processes are simultaneously in their
@@ -33,9 +33,10 @@ where
     let clients: Vec<_> = (0..alg.n() as u32)
         .map(|i| alg.client_with_cs(cfc_core::ProcessId::new(i), trips, 1))
         .collect();
-    explore(
+    explore_sym(
         memory,
         clients,
+        &alg.symmetry(),
         config,
         |view| {
             let in_cs = view
@@ -77,9 +78,12 @@ where
     let procs: Vec<_> = (0..alg.n() as u32)
         .map(|i| alg.process(cfc_core::ProcessId::new(i)))
         .collect();
-    explore(
+    // Detection processes carry their pid and write it into the splitter
+    // registers, so no two are interchangeable: the trivial group.
+    explore_sym(
         memory,
         procs,
+        &cfc_core::SymmetryGroup::trivial(alg.n()),
         config,
         |view| {
             let winners = view.count_output(Value::ONE);
@@ -113,9 +117,10 @@ where
     let memory = memory_of(alg.memory())?;
     let n = alg.n();
     let procs = alg.processes();
-    explore(
+    explore_sym(
         memory,
         procs,
+        &alg.symmetry(),
         ExploreConfig {
             max_crashes,
             ..config

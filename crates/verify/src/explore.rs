@@ -1,4 +1,5 @@
-//! Exhaustive interleaving exploration for small systems.
+//! Exhaustive interleaving exploration for small systems, with optional
+//! state-space reduction.
 //!
 //! The paper's model admits *every* interleaving of process steps; for
 //! small `n` we can enumerate all of them. The explorer performs a
@@ -8,20 +9,72 @@
 //! Optionally it also branches on crash transitions, which is how
 //! wait-freedom claims of the naming algorithms are validated under every
 //! adversarial failure pattern.
+//!
+//! # State-space reduction
+//!
+//! Naive enumeration interleaves steps that cannot possibly influence one
+//! another and distinguishes states that differ only by a permutation of
+//! identical processes. Two classic, independently-toggleable reductions
+//! ([`ExploreConfig::por`], [`ExploreConfig::symmetry`]) attack both
+//! sources of blow-up while preserving the verified properties:
+//!
+//! **Ample-set partial-order reduction.** At a state, if some runnable
+//! process's next step (a) has a footprint disjoint from every location
+//! any *other* running process [may ever access](cfc_core::Process::may_access)
+//! — so it is independent, now and forever, of all concurrent steps —
+//! (b) is *invisible*: it changes neither the stepping process's section
+//! nor its output (and `Halt` steps, which change only the liveness
+//! status, qualify), and (c) does not close a cycle (its successor has
+//! not been visited), then expanding **only** that process is sufficient:
+//! every pruned interleaving reorders independent steps and reaches the
+//! same states up to stuttering of the checked observation. These are the
+//! classical ample-set conditions C0–C3 [CGP99, ch. 10]; condition (c) is
+//! the cycle proviso that prevents a transition from being deferred
+//! forever. Crash branching disables the reduction at any state that can
+//! still crash (crash transitions commute with nothing).
+//!
+//! **Symmetry reduction.** Visited-state keys are canonicalized by
+//! sorting the local states of interchangeable processes (as declared by
+//! a [`SymmetryGroup`]) under a per-process fingerprint, so one orbit
+//! representative stands for up to `k!` permuted states. The search still
+//! walks *concrete* states — schedules remain valid un-reduced schedules
+//! and every reported violation [`replay`]s against the baseline
+//! semantics.
+//!
+//! Soundness contract for the checks (trivially met by the ready-made
+//! checks in [`crate::checks`]): with `por` enabled, `state_check` must
+//! depend only on the processes' sections and outputs (not raw memory or
+//! liveness status); `terminal_check` may inspect everything (quiescent
+//! states are preserved exactly — persistent sets preserve deadlocks).
+//! With `symmetry` enabled, both checks must be invariant under
+//! permutations of the declared classes. The baseline explorer (both
+//! flags off, the default) has no such requirements and remains available
+//! for differential testing — see `tests/reduction_equiv.rs`.
 
-use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
-use cfc_core::{Memory, OpResult, Process, ProcessId, Status, Step, Value};
+use cfc_core::{
+    Footprint, Memory, OpResult, Process, ProcessId, RegisterSet, Status, Step, SymmetryGroup,
+    Value,
+};
 
-/// Limits for an exploration.
-#[derive(Clone, Copy, Debug)]
+/// Limits and reduction switches for an exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExploreConfig {
-    /// Abort after visiting this many distinct states.
+    /// Abort after visiting this many distinct (canonical) states.
     pub max_states: usize,
     /// How many crash transitions the adversary may inject in one run.
     pub max_crashes: u32,
+    /// Enable ample-set partial-order reduction (see module docs for the
+    /// soundness contract). Off by default: the baseline explorer is the
+    /// reference semantics.
+    pub por: bool,
+    /// Enable symmetry reduction: canonicalize visited-state keys under
+    /// the system's [`SymmetryGroup`]. A no-op under the trivial group.
+    pub symmetry: bool,
 }
 
 impl Default for ExploreConfig {
@@ -29,19 +82,57 @@ impl Default for ExploreConfig {
         ExploreConfig {
             max_states: 2_000_000,
             max_crashes: 0,
+            por: false,
+            symmetry: false,
         }
+    }
+}
+
+impl ExploreConfig {
+    /// The default configuration with both reductions enabled.
+    pub fn reduced() -> Self {
+        ExploreConfig {
+            por: true,
+            symmetry: true,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the state budget.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Replaces the crash budget.
+    #[must_use]
+    pub fn with_max_crashes(mut self, max_crashes: u32) -> Self {
+        self.max_crashes = max_crashes;
+        self
     }
 }
 
 /// Statistics of a completed exploration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExploreStats {
-    /// Distinct states visited.
+    /// Distinct (canonical) states visited.
     pub states: usize,
     /// Transitions executed.
     pub transitions: u64,
     /// Quiescent (terminal) states reached.
     pub terminals: usize,
+    /// Enabled **transitions** not expanded because an ample subset
+    /// sufficed (`pot` = partial-order techniques). Each skipped
+    /// transition is a successor state never generated — though distinct
+    /// skipped transitions may lead to the same state, so this is an
+    /// upper bound on the states pruned at these nodes.
+    pub states_pruned_pot: u64,
+    /// States skipped because a *different* member of their symmetry
+    /// orbit had already been explored (plain revisits of the same
+    /// concrete state are not merges — they are deduplicated by the
+    /// baseline too).
+    pub orbits_merged: u64,
 }
 
 /// One scheduling decision on a violating path.
@@ -143,9 +234,192 @@ struct Node<P> {
     crashes_left: u32,
 }
 
+/// The fingerprint used to canonically order interchangeable processes:
+/// the process's own [`Process::fingerprint`] if it provides one, a hash
+/// of its full state otherwise, mixed with its liveness status.
+fn state_fingerprint<P: Process + Hash>(p: &P, status: Status) -> u64 {
+    let mut h = DefaultHasher::new();
+    match p.fingerprint() {
+        Some(fp) => fp.hash(&mut h),
+        None => p.hash(&mut h),
+    }
+    status.hash(&mut h);
+    h.finish()
+}
+
+fn full_hash<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// The orbit representative of a node: within every symmetry class, the
+/// (local state, status) pairs are rearranged into fingerprint order.
+///
+/// Sorting is *stable*, so fingerprint collisions between distinct local
+/// states can only forfeit a merge, never create an unsound one: two
+/// nodes canonicalize equally iff they are genuine class-respecting
+/// permutations of one another.
+fn canonicalize<P: Process + Clone + Hash>(node: &Node<P>, group: &SymmetryGroup) -> Node<P> {
+    let mut canon = node.clone();
+    for class in group.classes() {
+        let mut order: Vec<usize> = class.clone();
+        order.sort_by_key(|&i| state_fingerprint(&node.procs[i], node.status[i]));
+        for (&dst, &src) in class.iter().zip(order.iter()) {
+            if dst != src {
+                canon.procs[dst] = node.procs[src].clone();
+                canon.status[dst] = node.status[src];
+            }
+        }
+    }
+    canon
+}
+
+/// A 64-bit digest of the canonical form the symmetry-reduced explorer
+/// assigns to a global state — a test/diagnostic hook, **not** the
+/// literal visited-set key: the explorer keys its visited set on the
+/// full canonical node (including the remaining crash budget, fixed to 0
+/// here) precisely so that hash collisions can never merge unrelated
+/// states.
+///
+/// Permuting processes within one class of `symmetry` (their states and
+/// statuses together, leaving memory fixed) leaves the digest unchanged —
+/// the invariant the property tests in `tests/` assert.
+pub fn canonical_key<P: Process + Clone + Eq + Hash>(
+    procs: &[P],
+    status: &[Status],
+    memory: &Memory,
+    symmetry: &SymmetryGroup,
+) -> u64 {
+    let node = Node {
+        procs: procs.to_vec(),
+        values: memory.snapshot().to_vec(),
+        status: status.to_vec(),
+        crashes_left: 0,
+    };
+    let canon = canonicalize(&node, symmetry);
+    let mut h = DefaultHasher::new();
+    canon.hash(&mut h);
+    h.finish()
+}
+
+/// Computes the successor of `node` when process `i` takes its next step.
+fn expand_step<P: Process + Clone>(
+    node: &Node<P>,
+    i: usize,
+    template: &Memory,
+) -> Result<Node<P>, ExploreError> {
+    let mut next = node.clone();
+    match next.procs[i].current() {
+        Step::Halt => next.status[i] = Status::Done,
+        Step::Internal => next.procs[i].advance(OpResult::None),
+        Step::Op(op) => {
+            let mut mem = rebuild_memory(template, &next.values);
+            let result = mem.apply(&op).map_err(ExploreError::Memory)?;
+            next.values = mem.snapshot().to_vec();
+            next.procs[i].advance(result);
+        }
+    }
+    Ok(next)
+}
+
+/// Reused per-state scratch of the ample selection: future-access sets
+/// and the successors computed while testing candidates (handed to the
+/// full expansion on fallback, so no transition is computed twice).
+struct AmpleScratch<P> {
+    may: Vec<(bool, RegisterSet)>,
+    succ: Vec<Option<Node<P>>>,
+}
+
+impl<P> AmpleScratch<P> {
+    fn new(n: usize) -> Self {
+        AmpleScratch {
+            may: (0..n).map(|_| (false, RegisterSet::new())).collect(),
+            succ: (0..n).map(|_| None).collect(),
+        }
+    }
+}
+
+/// Selects an ample process at `node`, leaving its (already computed)
+/// successor in `scratch.succ`, or returns `None` when the state must be
+/// fully expanded.
+///
+/// A candidate `i` is ample when its next step is
+/// 1. independent of every step any *other* running process can ever
+///    take — trivially so for local (`Internal`/`Halt`) steps, and via
+///    disjointness of the op footprint from the others'
+///    [`Process::may_access`] over-approximations otherwise (an unknown
+///    over-approximation disqualifies the candidate);
+/// 2. invisible: the stepping process's section and output are unchanged
+///    (halting changes only the liveness status, which `state_check` must
+///    not read under reduction — see the module docs);
+/// 3. not closing a cycle: its successor has not been visited yet (the
+///    C3 proviso — every cycle of the reduced graph thereby contains a
+///    fully expanded state, so no transition is ignored forever).
+fn select_ample<P: Process + Clone + Eq + Hash>(
+    node: &Node<P>,
+    runnable: &[usize],
+    template: &Memory,
+    visited: &HashMap<Node<P>, u64>,
+    symmetry: &SymmetryGroup,
+    use_sym: bool,
+    scratch: &mut AmpleScratch<P>,
+) -> Result<Option<usize>, ExploreError> {
+    // Future-access over-approximations, computed once per state into the
+    // reused scratch buffers.
+    for &j in runnable {
+        let (known, set) = &mut scratch.may[j];
+        set.clear();
+        *known = node.procs[j].may_access(set);
+    }
+    let layout = template.layout();
+    'candidates: for &i in runnable {
+        let step = node.procs[i].current();
+        // Condition 1: independence with all concurrent futures.
+        if let Step::Op(op) = &step {
+            let fp = Footprint::of_op(op, layout);
+            for &j in runnable {
+                if j == i {
+                    continue;
+                }
+                match &scratch.may[j] {
+                    (true, set) if !fp.touches(set) => {}
+                    _ => continue 'candidates,
+                }
+            }
+        }
+        // Successors computed here are kept in the scratch: if no ample
+        // candidate survives, the full expansion reuses them instead of
+        // recomputing.
+        let succ = expand_step(node, i, template)?;
+        let succ = scratch.succ[i].insert(succ);
+        // Condition 2: invisibility of the step.
+        if !matches!(step, Step::Halt)
+            && (succ.procs[i].section() != node.procs[i].section()
+                || succ.procs[i].output() != node.procs[i].output())
+        {
+            continue 'candidates;
+        }
+        // Condition 3: the cycle proviso.
+        let key = if use_sym {
+            canonicalize(succ, symmetry)
+        } else {
+            succ.clone()
+        };
+        if visited.contains_key(&key) {
+            continue 'candidates;
+        }
+        return Ok(Some(i));
+    }
+    Ok(None)
+}
+
 /// Explores every interleaving (and crash pattern, if enabled) of the
-/// processes, checking `state_check` in every reachable state and
-/// `terminal_check` in every quiescent state.
+/// processes under the trivial symmetry group, checking `state_check` in
+/// every reachable state and `terminal_check` in every quiescent state.
+///
+/// Equivalent to [`explore_sym`] with [`SymmetryGroup::trivial`]; use
+/// `explore_sym` to make [`ExploreConfig::symmetry`] effective.
 ///
 /// Process types must be `Clone + Eq + Hash` so states can be memoized;
 /// the enum-based state machines of `cfc-mutex`/`cfc-naming` all qualify.
@@ -158,6 +432,38 @@ pub fn explore<P, FS, FT>(
     memory: Memory,
     procs: Vec<P>,
     config: ExploreConfig,
+    state_check: FS,
+    terminal_check: FT,
+) -> Result<ExploreStats, ExploreError>
+where
+    P: Process + Clone + Eq + Hash,
+    FS: FnMut(&StateView<'_, P>) -> Result<(), String>,
+    FT: FnMut(&StateView<'_, P>) -> Result<(), String>,
+{
+    let group = SymmetryGroup::trivial(procs.len());
+    explore_sym(memory, procs, &group, config, state_check, terminal_check)
+}
+
+/// Explores every interleaving (and crash pattern, if enabled) of the
+/// processes, with the reductions requested by `config` — partial-order
+/// reduction via footprint independence, symmetry reduction via the given
+/// group. See the module docs for the exact soundness contract on the
+/// checks.
+///
+/// # Errors
+///
+/// Returns the first violation found (with its schedule, which replays
+/// under the un-reduced semantics), state-budget exhaustion, or an
+/// invalid memory operation.
+///
+/// # Panics
+///
+/// Panics if `symmetry` is defined over a different process count.
+pub fn explore_sym<P, FS, FT>(
+    memory: Memory,
+    procs: Vec<P>,
+    symmetry: &SymmetryGroup,
+    config: ExploreConfig,
     mut state_check: FS,
     mut terminal_check: FT,
 ) -> Result<ExploreStats, ExploreError>
@@ -167,6 +473,13 @@ where
     FT: FnMut(&StateView<'_, P>) -> Result<(), String>,
 {
     let n = procs.len();
+    assert_eq!(
+        symmetry.n(),
+        n,
+        "symmetry group is over {} processes, system has {n}",
+        symmetry.n()
+    );
+    let use_sym = config.symmetry && !symmetry.is_trivial();
     let root = Node {
         status: vec![Status::Running; n],
         values: memory.snapshot().to_vec(),
@@ -174,14 +487,32 @@ where
         crashes_left: config.max_crashes,
     };
 
-    let mut visited: HashSet<Node<P>> = HashSet::new();
+    // Visited canonical states, each keyed with the hash of the concrete
+    // state that first reached it — that lets the orbit-merge counter
+    // tell a merge with a permuted sibling apart from a plain revisit.
+    let mut visited: HashMap<Node<P>, u64> = HashMap::new();
     let mut stats = ExploreStats::default();
+    let mut scratch = AmpleScratch::new(n);
     // DFS stack: (node, schedule-so-far). The schedule is stored per node
     // to report violating paths; for small systems this is affordable.
     let mut stack: Vec<(Node<P>, Vec<ScheduleStep>)> = vec![(root, Vec::new())];
 
     while let Some((node, path)) = stack.pop() {
-        if !visited.insert(node.clone()) {
+        if use_sym {
+            let canon = canonicalize(&node, symmetry);
+            let node_hash = full_hash(&node);
+            match visited.get(&canon) {
+                Some(&first) => {
+                    if first != node_hash {
+                        stats.orbits_merged += 1;
+                    }
+                    continue;
+                }
+                None => {
+                    visited.insert(canon, node_hash);
+                }
+            }
+        } else if visited.insert(node.clone(), 0).is_some() {
             continue;
         }
         stats.states += 1;
@@ -214,6 +545,26 @@ where
             continue;
         }
 
+        // Partial-order reduction: expand a single provably-sufficient
+        // process when one exists. Sound only without pending crash
+        // branching (a crash commutes with nothing the victim would do).
+        if config.por && node.crashes_left == 0 && runnable.len() > 1 {
+            let ample =
+                select_ample(&node, &runnable, &memory, &visited, symmetry, use_sym, &mut scratch)?;
+            if let Some(i) = ample {
+                let succ = scratch.succ[i].take().expect("ample successor cached");
+                for s in scratch.succ.iter_mut() {
+                    *s = None;
+                }
+                stats.states_pruned_pot += runnable.len() as u64 - 1;
+                stats.transitions += 1;
+                let mut next_path = path;
+                next_path.push(ScheduleStep::Step(ProcessId::new(i as u32)));
+                stack.push((succ, next_path));
+                continue;
+            }
+        }
+
         for &i in &runnable {
             // Crash transition.
             if node.crashes_left > 0 {
@@ -225,23 +576,12 @@ where
                 stats.transitions += 1;
                 stack.push((next, next_path));
             }
-            // Step transition.
-            let mut next = node.clone();
-            let step = next.procs[i].current();
-            match step {
-                Step::Halt => {
-                    next.status[i] = Status::Done;
-                }
-                Step::Internal => {
-                    next.procs[i].advance(OpResult::None);
-                }
-                Step::Op(op) => {
-                    let mut mem = rebuild_memory(&memory, &next.values);
-                    let result = mem.apply(&op).map_err(ExploreError::Memory)?;
-                    next.values = mem.snapshot().to_vec();
-                    next.procs[i].advance(result);
-                }
-            }
+            // Step transition — reusing the successor ample selection
+            // already computed for this candidate, if any.
+            let next = match scratch.succ[i].take() {
+                Some(cached) => cached,
+                None => expand_step(&node, i, &memory)?,
+            };
             let mut next_path = path.clone();
             next_path.push(ScheduleStep::Step(ProcessId::new(i as u32)));
             stats.transitions += 1;
@@ -282,7 +622,10 @@ pub struct ProgressStats {
 /// property.)
 ///
 /// The check builds the full state graph, then back-propagates
-/// "can reach a terminal" over reversed edges.
+/// "can reach a terminal" over reversed edges. It always runs un-reduced:
+/// the [`ExploreConfig`] reduction flags are ignored here (the reachable
+/// *sub*-graph a reduction keeps could misclassify a pruned state's
+/// ability to progress).
 ///
 /// # Errors
 ///
@@ -334,17 +677,7 @@ where
             continue;
         }
         for &i in &runnable {
-            let mut next = node.clone();
-            match next.procs[i].current() {
-                Step::Halt => next.status[i] = Status::Done,
-                Step::Internal => next.procs[i].advance(OpResult::None),
-                Step::Op(op) => {
-                    let mut mem = rebuild_memory(&memory, &next.values);
-                    let result = mem.apply(&op).map_err(ExploreError::Memory)?;
-                    next.values = mem.snapshot().to_vec();
-                    next.procs[i].advance(result);
-                }
-            }
+            let next = expand_step(&node, i, &memory)?;
             transitions += 1;
             let next_id = match index.get(&next) {
                 Some(&existing) => existing,
@@ -390,24 +723,61 @@ where
     })
 }
 
-/// Replays a violating schedule on a fresh executor, returning the trace —
-/// used to render counterexamples for humans.
+/// The final state of a replayed schedule: the trace plus everything
+/// needed to re-evaluate a property in the reached state.
+#[derive(Clone, Debug)]
+pub struct Replayed<P> {
+    /// The events of the replayed run.
+    pub trace: cfc_core::Trace,
+    /// The processes in their final states.
+    pub procs: Vec<P>,
+    /// The shared memory in its final state.
+    pub memory: Memory,
+    /// Each process's final liveness status.
+    pub status: Vec<Status>,
+}
+
+impl<P> Replayed<P> {
+    /// A [`StateView`] of the reached state, suitable for re-running the
+    /// property check that reported a violation.
+    pub fn view(&self) -> StateView<'_, P> {
+        StateView {
+            procs: &self.procs,
+            status: &self.status,
+            memory: &self.memory,
+        }
+    }
+}
+
+/// Replays a violating schedule on a fresh executor, returning the trace
+/// **and the reached state** — used to render counterexamples for humans
+/// and to confirm that a violation found by the *reduced* explorer
+/// reproduces under the baseline, un-reduced semantics (the reductions
+/// only prune which interleavings are searched; every schedule they
+/// report is a plain sequence of concrete steps).
 ///
 /// # Errors
 ///
-/// Propagates executor errors; a schedule obtained from [`explore`] always
-/// replays cleanly.
+/// Propagates executor errors; a schedule obtained from [`explore`] or
+/// [`explore_sym`] always replays cleanly.
+///
+/// # Panics
+///
+/// Panics if the schedule steps a process that has already halted or
+/// crashed — such schedules are never produced by the explorer.
 pub fn replay<P: Process>(
     memory: Memory,
     mut procs: Vec<P>,
     schedule: &[ScheduleStep],
-) -> Result<(cfc_core::Trace, Vec<P>), cfc_core::ExecError> {
+) -> Result<Replayed<P>, cfc_core::ExecError> {
     use cfc_core::{Event, EventKind, Trace};
     let mut mem = memory;
     let mut trace = Trace::new();
+    let mut status = vec![Status::Running; procs.len()];
     for s in schedule {
         match s {
             ScheduleStep::Crash(pid) => {
+                status[pid.index()] = Status::Crashed;
                 trace.push(Event {
                     pid: *pid,
                     kind: EventKind::Crash,
@@ -415,8 +785,14 @@ pub fn replay<P: Process>(
             }
             ScheduleStep::Step(pid) => {
                 let i = pid.index();
+                assert_eq!(
+                    status[i],
+                    Status::Running,
+                    "schedule steps {pid}, which is no longer running"
+                );
                 match procs[i].current() {
                     Step::Halt => {
+                        status[i] = Status::Done;
                         trace.push(Event {
                             pid: *pid,
                             kind: EventKind::Done {
@@ -443,7 +819,12 @@ pub fn replay<P: Process>(
             }
         }
     }
-    Ok((trace, procs))
+    Ok(Replayed {
+        trace,
+        procs,
+        memory: mem,
+        status,
+    })
 }
 
 #[cfg(test)]
@@ -547,6 +928,78 @@ mod tests {
         .unwrap();
         assert!(stats.states > 5);
         assert!(stats.terminals >= 2);
+        // The baseline explorer reduces nothing.
+        assert_eq!(stats.states_pruned_pot, 0);
+        assert_eq!(stats.orbits_merged, 0);
+    }
+
+    #[test]
+    fn symmetric_increments_share_an_orbit() {
+        // The two Incr processes are identical, so the full group applies:
+        // states differing only by swapping them are merged, and the
+        // terminal-state memory values are still all seen.
+        let (memory, procs) = incr_system();
+        let c = RegisterId::new(0);
+        let base = explore(
+            memory.clone(),
+            procs.clone(),
+            ExploreConfig::default(),
+            |_| Ok(()),
+            |_| Ok(()),
+        )
+        .unwrap();
+        let mut counts = std::collections::BTreeSet::new();
+        let reduced = explore_sym(
+            memory,
+            procs,
+            &SymmetryGroup::full(2),
+            ExploreConfig {
+                symmetry: true,
+                ..ExploreConfig::default()
+            },
+            |_| Ok(()),
+            |view| {
+                counts.insert(view.memory.get(c).raw());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(reduced.states < base.states, "{reduced:?} vs {base:?}");
+        assert!(reduced.orbits_merged > 0);
+        // Both the lost-update (1) and clean (2) outcomes survive.
+        assert_eq!(counts.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn por_preserves_terminal_outcomes() {
+        // Incr ops all touch the shared counter with unknown futures, so
+        // only Halt steps are ample — the reduction is modest but the
+        // terminal outcomes must be identical.
+        let (memory, procs) = incr_system();
+        let c = RegisterId::new(0);
+        let collect = |por: bool| {
+            let mut counts = std::collections::BTreeSet::new();
+            let stats = explore(
+                memory.clone(),
+                procs.clone(),
+                ExploreConfig {
+                    por,
+                    ..ExploreConfig::default()
+                },
+                |_| Ok(()),
+                |view| {
+                    counts.insert(view.memory.get(c).raw());
+                    Ok(())
+                },
+            )
+            .unwrap();
+            (stats, counts)
+        };
+        let (base, base_counts) = collect(false);
+        let (red, red_counts) = collect(true);
+        assert_eq!(base_counts, red_counts);
+        assert!(red.states <= base.states);
+        assert!(red.states_pruned_pot > 0);
     }
 
     #[test]
@@ -581,10 +1034,7 @@ mod tests {
         let err = explore(
             memory,
             procs,
-            ExploreConfig {
-                max_states: 3,
-                max_crashes: 0,
-            },
+            ExploreConfig::default().with_max_states(3),
             |_| Ok(()),
             |_| Ok(()),
         )
@@ -613,7 +1063,31 @@ mod tests {
         let ExploreError::Violation(v) = err else {
             panic!("expected violation")
         };
-        let (trace, _) = replay(memory, procs, &v.schedule).unwrap();
-        assert!(trace.len() >= 4);
+        let replayed = replay(memory, procs, &v.schedule).unwrap();
+        assert!(replayed.trace.len() >= 4);
+        // The replayed final state is the violating one.
+        assert_eq!(replayed.memory.get(c), Value::new(1));
+        assert!(replayed.status.iter().all(|s| *s == Status::Done));
+    }
+
+    #[test]
+    fn canonical_key_is_permutation_invariant() {
+        let (memory, mut procs) = incr_system();
+        // Drive the processes into distinct local states.
+        let mut mem = memory.clone();
+        let r = mem.apply(&Op::Read(RegisterId::new(0))).unwrap();
+        procs[0].advance(r);
+        let group = SymmetryGroup::full(2);
+        let status = [Status::Running, Status::Running];
+        let k1 = canonical_key(&procs, &status, &mem, &group);
+        procs.swap(0, 1);
+        let k2 = canonical_key(&procs, &status, &mem, &group);
+        assert_eq!(k1, k2);
+        // Under the trivial group, the swap is visible.
+        let trivial = SymmetryGroup::trivial(2);
+        let t1 = canonical_key(&procs, &status, &mem, &trivial);
+        procs.swap(0, 1);
+        let t2 = canonical_key(&procs, &status, &mem, &trivial);
+        assert_ne!(t1, t2);
     }
 }

@@ -41,8 +41,8 @@ pub use checks::{
     check_detection_safety, check_mutex_progress, check_mutex_safety, check_naming_uniqueness,
 };
 pub use explore::{
-    check_progress, explore, ExploreConfig, ExploreError, ExploreStats, ProgressStats,
-    ScheduleStep, Violation,
+    canonical_key, check_progress, explore, explore_sym, replay, ExploreConfig, ExploreError,
+    ExploreStats, ProgressStats, Replayed, ScheduleStep, Violation,
 };
 pub use merge::{
     assert_resists_merge, lemma2_condition, merge_attack, solo_profile, MergeError, MergeFailure,

@@ -1,0 +1,49 @@
+//! Shared test support for the integration suites: explorer budget
+//! construction, so every test states its limits the same way and a
+//! state-space regression fails fast with `ExploreError::StateBudget`
+//! instead of hanging CI.
+//!
+//! (`tests/common/` is not itself a test target; each suite pulls this in
+//! with `mod common;` and uses the subset it needs.)
+
+#![allow(dead_code)]
+
+use cfc::verify::explore::ExploreConfig;
+
+/// An explicit, crash-free **baseline** budget: no reductions, the
+/// reference interleaving semantics. Use for differential runs and for
+/// explorations known to visit fewer than `max_states` states.
+pub fn budget(max_states: usize) -> ExploreConfig {
+    ExploreConfig {
+        max_states,
+        max_crashes: 0,
+        por: false,
+        symmetry: false,
+    }
+}
+
+/// A budget with **both** reductions enabled (ample-set partial-order +
+/// symmetry canonicalization). Budgets sized against reduced state
+/// counts are much tighter than their baseline equivalents.
+pub fn reduced(max_states: usize) -> ExploreConfig {
+    ExploreConfig::reduced().with_max_states(max_states)
+}
+
+/// A budget with partial-order reduction only. The right choice for
+/// mutex clients whose lock state embeds a distinct identity: their
+/// symmetry quotient is trivial, so canonicalization would only add
+/// per-state sorting overhead.
+pub fn por_only(max_states: usize) -> ExploreConfig {
+    ExploreConfig {
+        por: true,
+        ..budget(max_states)
+    }
+}
+
+/// A budget with symmetry reduction only.
+pub fn sym_only(max_states: usize) -> ExploreConfig {
+    ExploreConfig {
+        symmetry: true,
+        ..budget(max_states)
+    }
+}
