@@ -26,7 +26,9 @@
 
 use std::sync::Arc;
 
-use cfc_core::{bits_for, Layout, Op, OpResult, ProcessId, RegisterId, Step, Value};
+use cfc_core::{
+    bits_for, Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup, Value,
+};
 
 use crate::algorithm::{LockProcess, MutexAlgorithm};
 
@@ -85,6 +87,13 @@ impl MutexAlgorithm for Dijkstra {
             pc: Pc::Idle,
             k_seen: 0,
         }
+    }
+
+    /// Every contender runs the same index-oblivious program text (its
+    /// index is part of the lock's local state), so the full group is
+    /// sound for the permutation-invariant exhaustive checks.
+    fn symmetry(&self) -> SymmetryGroup {
+        SymmetryGroup::full(self.n)
     }
 }
 
@@ -203,6 +212,17 @@ impl LockProcess for DijkstraLock {
             Pc::ExitWriteC => Pc::ExitWriteB,
             Pc::ExitWriteB => Pc::ExitDone,
         };
+    }
+
+    fn protocol_footprint(&self, out: &mut RegisterSet) -> bool {
+        // A contender may read every `b`/`c` flag (the `b[k]` probe and
+        // the full scan) and both reads and writes the turn register `k`:
+        // the whole layout, in any phase.
+        for &r in self.b.iter().chain(self.c.iter()) {
+            out.insert(r);
+        }
+        out.insert(self.k);
+        true
     }
 }
 

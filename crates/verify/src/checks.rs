@@ -145,9 +145,16 @@ where
 /// algorithm: from every reachable state of `trips`-trip clients, some
 /// continuation reaches a state where every client has finished.
 ///
+/// Runs on the reduced state graph when `config` asks for it: symmetry
+/// reduction uses the algorithm's declared [`MutexAlgorithm::symmetry`]
+/// group, partial-order reduction the clients' footprints — see
+/// [`crate::explore::check_progress_sym`] for the soundness argument and
+/// crash-budget semantics (crashed clients count as quiesced).
+///
 /// # Errors
 ///
-/// Returns a violation naming a stuck state, or budget exhaustion.
+/// Returns a violation with a replayable schedule to a stuck state, or
+/// budget exhaustion.
 pub fn check_mutex_progress<A>(
     alg: &A,
     trips: u32,
@@ -161,7 +168,80 @@ where
     let clients: Vec<_> = (0..alg.n() as u32)
         .map(|i| alg.client(cfc_core::ProcessId::new(i), trips))
         .collect();
-    crate::explore::check_progress(memory, clients, config)
+    crate::explore::check_progress_sym(memory, clients, &alg.symmetry(), config)
+}
+
+/// Exhaustively verifies progress of a naming algorithm: from every
+/// reachable state under up to `max_crashes` adversarial crashes, some
+/// continuation quiesces **all** walkers — every process either decides
+/// a name and halts or has crashed.
+///
+/// This is weaker than the wait-freedom the algorithms guarantee (which
+/// [`check_naming_uniqueness`] validates terminally) but it is checked
+/// from *every* reachable state, so it rules out any reachable wedge.
+/// Naming processes are structurally identical, so the algorithm's full
+/// [`NamingAlgorithm::symmetry`] group applies; with
+/// `ExploreConfig::reduced()` the canonical quotient reaches process
+/// counts the un-reduced graph cannot.
+///
+/// # Errors
+///
+/// Returns a violation with a replayable schedule to a stuck state, or
+/// budget exhaustion.
+pub fn check_naming_progress<A>(
+    alg: &A,
+    max_crashes: u32,
+    config: ExploreConfig,
+) -> Result<crate::explore::ProgressStats, ExploreError>
+where
+    A: NamingAlgorithm,
+    A::Proc: Clone + Eq + Hash,
+{
+    let memory = memory_of(alg.memory())?;
+    crate::explore::check_progress_sym(
+        memory,
+        alg.processes(),
+        &alg.symmetry(),
+        ExploreConfig {
+            max_crashes,
+            ..config
+        },
+    )
+}
+
+/// Exhaustively verifies progress of a contention-detection algorithm:
+/// from every reachable state, some continuation has every participant
+/// decide and halt.
+///
+/// The splitter-based detectors satisfy this (every participant always
+/// terminates); the Lemma 1 mutex-derived detector does **not** — its
+/// losers may busy-wait forever, which is permitted by weak deadlock
+/// freedom — so this check distinguishes the two families. Detection
+/// processes carry their pid, so the trivial symmetry group applies and
+/// only partial-order reduction can shrink the graph.
+///
+/// # Errors
+///
+/// Returns a violation with a replayable schedule to a stuck state, or
+/// budget exhaustion.
+pub fn check_detection_progress<A>(
+    alg: &A,
+    config: ExploreConfig,
+) -> Result<crate::explore::ProgressStats, ExploreError>
+where
+    A: DetectionAlgorithm,
+    A::Proc: Clone + Eq + Hash,
+{
+    let memory = memory_of(alg.memory())?;
+    let procs: Vec<_> = (0..alg.n() as u32)
+        .map(|i| alg.process(cfc_core::ProcessId::new(i)))
+        .collect();
+    crate::explore::check_progress_sym(
+        memory,
+        procs,
+        &cfc_core::SymmetryGroup::trivial(alg.n()),
+        config,
+    )
 }
 
 fn check_names_distinct<P: Process>(view: &StateView<'_, P>, n: usize) -> Result<(), String> {
@@ -220,6 +300,52 @@ mod tests {
         check_mutex_progress(&Tournament::new(4, 1), 1, ExploreConfig::default()).unwrap();
         check_mutex_progress(&cfc_mutex::Dijkstra::new(2), 1, ExploreConfig::default()).unwrap();
         check_mutex_progress(&cfc_mutex::Bakery::new(2), 1, ExploreConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn deadlock_freedom_verified_on_the_reduced_graph() {
+        // The same checks on the reduced graph: partial-order reduction
+        // must prune something for the tournament (disjoint subtrees
+        // serialize) and the verdict must stay "deadlock-free".
+        let red =
+            check_mutex_progress(&Tournament::new(4, 1), 1, ExploreConfig::reduced()).unwrap();
+        let base =
+            check_mutex_progress(&Tournament::new(4, 1), 1, ExploreConfig::default()).unwrap();
+        assert!(red.states <= base.states);
+        assert!(red.states_pruned_por > 0, "{red:?}");
+        check_mutex_progress(&cfc_mutex::Bakery::new(2), 1, ExploreConfig::reduced()).unwrap();
+        check_mutex_progress(&cfc_mutex::Dijkstra::new(2), 1, ExploreConfig::reduced()).unwrap();
+    }
+
+    #[test]
+    fn naming_progress_all_walkers_quiesce() {
+        // From every reachable state (including mid-crash ones), some
+        // continuation has every walker decide or crash.
+        check_naming_progress(&TasScan::new(3), 1, ExploreConfig::default()).unwrap();
+        let red = check_naming_progress(&TafTree::new(4).unwrap(), 0, ExploreConfig::reduced())
+            .unwrap();
+        assert!(red.orbits_merged > 0, "{red:?}");
+        check_naming_progress(&TasReadSearch::new(3), 0, ExploreConfig::reduced()).unwrap();
+        check_naming_progress(&TasTarTree::new(2).unwrap(), 1, ExploreConfig::reduced()).unwrap();
+    }
+
+    #[test]
+    fn detection_progress_holds_for_splitters_not_for_lemma1() {
+        check_detection_progress(&Splitter::new(3), ExploreConfig::default()).unwrap();
+        check_detection_progress(&SplitterTree::new(3, 1), ExploreConfig::reduced()).unwrap();
+        // The Lemma 1 mutex-derived detector only has *weak* deadlock
+        // freedom: losers busy-wait forever once the winner claims, so a
+        // reachable state with a spinning loser and a finished winner can
+        // never fully quiesce — a genuine, expected progress violation.
+        let detector = cfc_mutex::MutexDetector::new(PetersonTwo::new());
+        let err = check_detection_progress(&detector, ExploreConfig::default()).unwrap_err();
+        match err {
+            ExploreError::Violation(v) => {
+                assert!(v.message.contains("quiescence"), "{v}");
+                assert!(!v.schedule.is_empty());
+            }
+            other => panic!("expected a progress violation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! wait-freedom claims of the naming algorithms are validated under every
 //! adversarial failure pattern.
 //!
+//! Both the DFS safety explorer ([`explore`], [`explore_sym`]) and the
+//! progress checker ([`check_progress`], [`check_progress_sym`]) are
+//! drivers over one shared state-graph engine (`crate::graph`): the same
+//! successor function, canonicalization, crash branching, budget
+//! accounting, and ample-set selection — so a reduction is implemented
+//! (and argued sound) once, and both properties benefit from it.
+//!
 //! # State-space reduction
 //!
 //! Naive enumeration interleaves steps that cannot possibly influence one
@@ -50,16 +57,38 @@
 //! permutations of the declared classes. The baseline explorer (both
 //! flags off, the default) has no such requirements and remains available
 //! for differential testing — see `tests/reduction_equiv.rs`.
+//!
+//! # Reduction-aware progress checking
+//!
+//! [`check_progress_sym`] verifies *possibility of progress* — from every
+//! reachable state, some continuation reaches quiescence — on the reduced
+//! graph directly, and both reductions are sound for it:
+//!
+//! * **Symmetry** quotients the graph by a bisimulation (permuting a
+//!   class's processes together with their statuses is an automorphism of
+//!   the transition relation, and quiescence is permutation-invariant),
+//!   and bisimulation preserves "can reach a quiescent state" at every
+//!   node, in both directions.
+//! * **Partial-order reduction** drops the invisibility condition (only
+//!   the graph shape matters, not per-state observations) but keeps
+//!   independence and strengthens the cycle proviso into a
+//!   *fresh-successor* proviso: an ample successor must never have been
+//!   interned before, so every cycle of the reduced graph contains a
+//!   fully expanded state and no process is deferred forever. See the
+//!   README "Verification pipeline" section for the two-direction
+//!   soundness argument.
+//!
+//! Progress violations carry a concrete schedule to the stuck state,
+//! reconstructed from predecessor edges of the state graph, which
+//! [`replay`] accepts like any safety-violation schedule.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 
-use cfc_core::{
-    Footprint, Memory, OpResult, Process, ProcessId, RegisterSet, Status, Step, SymmetryGroup,
-    Value,
-};
+use cfc_core::{Memory, OpResult, Process, ProcessId, Status, Step, SymmetryGroup, Value};
+
+use crate::graph::{canonicalize, expand_step, full_hash, AmpleMode, Engine, Expansion, Node};
 
 /// Limits and reduction switches for an exploration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,11 +152,11 @@ pub struct ExploreStats {
     /// Quiescent (terminal) states reached.
     pub terminals: usize,
     /// Enabled **transitions** not expanded because an ample subset
-    /// sufficed (`pot` = partial-order techniques). Each skipped
-    /// transition is a successor state never generated — though distinct
-    /// skipped transitions may lead to the same state, so this is an
-    /// upper bound on the states pruned at these nodes.
-    pub states_pruned_pot: u64,
+    /// sufficed (partial-order reduction). Each skipped transition is a
+    /// successor state never generated — though distinct skipped
+    /// transitions may lead to the same state, so this is an upper bound
+    /// on the states pruned at these nodes.
+    pub states_pruned_por: u64,
     /// States skipped because a *different* member of their symmetry
     /// orbit had already been explored (plain revisits of the same
     /// concrete state are not merges — they are deduplicated by the
@@ -226,55 +255,6 @@ impl<P: Process> StateView<'_, P> {
     }
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct Node<P> {
-    procs: Vec<P>,
-    values: Vec<Value>,
-    status: Vec<Status>,
-    crashes_left: u32,
-}
-
-/// The fingerprint used to canonically order interchangeable processes:
-/// the process's own [`Process::fingerprint`] if it provides one, a hash
-/// of its full state otherwise, mixed with its liveness status.
-fn state_fingerprint<P: Process + Hash>(p: &P, status: Status) -> u64 {
-    let mut h = DefaultHasher::new();
-    match p.fingerprint() {
-        Some(fp) => fp.hash(&mut h),
-        None => p.hash(&mut h),
-    }
-    status.hash(&mut h);
-    h.finish()
-}
-
-fn full_hash<T: Hash>(t: &T) -> u64 {
-    let mut h = DefaultHasher::new();
-    t.hash(&mut h);
-    h.finish()
-}
-
-/// The orbit representative of a node: within every symmetry class, the
-/// (local state, status) pairs are rearranged into fingerprint order.
-///
-/// Sorting is *stable*, so fingerprint collisions between distinct local
-/// states can only forfeit a merge, never create an unsound one: two
-/// nodes canonicalize equally iff they are genuine class-respecting
-/// permutations of one another.
-fn canonicalize<P: Process + Clone + Hash>(node: &Node<P>, group: &SymmetryGroup) -> Node<P> {
-    let mut canon = node.clone();
-    for class in group.classes() {
-        let mut order: Vec<usize> = class.clone();
-        order.sort_by_key(|&i| state_fingerprint(&node.procs[i], node.status[i]));
-        for (&dst, &src) in class.iter().zip(order.iter()) {
-            if dst != src {
-                canon.procs[dst] = node.procs[src].clone();
-                canon.status[dst] = node.status[src];
-            }
-        }
-    }
-    canon
-}
-
 /// A 64-bit digest of the canonical form the symmetry-reduced explorer
 /// assigns to a global state — a test/diagnostic hook, **not** the
 /// literal visited-set key: the explorer keys its visited set on the
@@ -298,120 +278,7 @@ pub fn canonical_key<P: Process + Clone + Eq + Hash>(
         crashes_left: 0,
     };
     let canon = canonicalize(&node, symmetry);
-    let mut h = DefaultHasher::new();
-    canon.hash(&mut h);
-    h.finish()
-}
-
-/// Computes the successor of `node` when process `i` takes its next step.
-fn expand_step<P: Process + Clone>(
-    node: &Node<P>,
-    i: usize,
-    template: &Memory,
-) -> Result<Node<P>, ExploreError> {
-    let mut next = node.clone();
-    match next.procs[i].current() {
-        Step::Halt => next.status[i] = Status::Done,
-        Step::Internal => next.procs[i].advance(OpResult::None),
-        Step::Op(op) => {
-            let mut mem = rebuild_memory(template, &next.values);
-            let result = mem.apply(&op).map_err(ExploreError::Memory)?;
-            next.values = mem.snapshot().to_vec();
-            next.procs[i].advance(result);
-        }
-    }
-    Ok(next)
-}
-
-/// Reused per-state scratch of the ample selection: future-access sets
-/// and the successors computed while testing candidates (handed to the
-/// full expansion on fallback, so no transition is computed twice).
-struct AmpleScratch<P> {
-    may: Vec<(bool, RegisterSet)>,
-    succ: Vec<Option<Node<P>>>,
-}
-
-impl<P> AmpleScratch<P> {
-    fn new(n: usize) -> Self {
-        AmpleScratch {
-            may: (0..n).map(|_| (false, RegisterSet::new())).collect(),
-            succ: (0..n).map(|_| None).collect(),
-        }
-    }
-}
-
-/// Selects an ample process at `node`, leaving its (already computed)
-/// successor in `scratch.succ`, or returns `None` when the state must be
-/// fully expanded.
-///
-/// A candidate `i` is ample when its next step is
-/// 1. independent of every step any *other* running process can ever
-///    take — trivially so for local (`Internal`/`Halt`) steps, and via
-///    disjointness of the op footprint from the others'
-///    [`Process::may_access`] over-approximations otherwise (an unknown
-///    over-approximation disqualifies the candidate);
-/// 2. invisible: the stepping process's section and output are unchanged
-///    (halting changes only the liveness status, which `state_check` must
-///    not read under reduction — see the module docs);
-/// 3. not closing a cycle: its successor has not been visited yet (the
-///    C3 proviso — every cycle of the reduced graph thereby contains a
-///    fully expanded state, so no transition is ignored forever).
-fn select_ample<P: Process + Clone + Eq + Hash>(
-    node: &Node<P>,
-    runnable: &[usize],
-    template: &Memory,
-    visited: &HashMap<Node<P>, u64>,
-    symmetry: &SymmetryGroup,
-    use_sym: bool,
-    scratch: &mut AmpleScratch<P>,
-) -> Result<Option<usize>, ExploreError> {
-    // Future-access over-approximations, computed once per state into the
-    // reused scratch buffers.
-    for &j in runnable {
-        let (known, set) = &mut scratch.may[j];
-        set.clear();
-        *known = node.procs[j].may_access(set);
-    }
-    let layout = template.layout();
-    'candidates: for &i in runnable {
-        let step = node.procs[i].current();
-        // Condition 1: independence with all concurrent futures.
-        if let Step::Op(op) = &step {
-            let fp = Footprint::of_op(op, layout);
-            for &j in runnable {
-                if j == i {
-                    continue;
-                }
-                match &scratch.may[j] {
-                    (true, set) if !fp.touches(set) => {}
-                    _ => continue 'candidates,
-                }
-            }
-        }
-        // Successors computed here are kept in the scratch: if no ample
-        // candidate survives, the full expansion reuses them instead of
-        // recomputing.
-        let succ = expand_step(node, i, template)?;
-        let succ = scratch.succ[i].insert(succ);
-        // Condition 2: invisibility of the step.
-        if !matches!(step, Step::Halt)
-            && (succ.procs[i].section() != node.procs[i].section()
-                || succ.procs[i].output() != node.procs[i].output())
-        {
-            continue 'candidates;
-        }
-        // Condition 3: the cycle proviso.
-        let key = if use_sym {
-            canonicalize(succ, symmetry)
-        } else {
-            succ.clone()
-        };
-        if visited.contains_key(&key) {
-            continue 'candidates;
-        }
-        return Ok(Some(i));
-    }
-    Ok(None)
+    full_hash(&canon)
 }
 
 /// Explores every interleaving (and crash pattern, if enabled) of the
@@ -473,33 +340,21 @@ where
     FT: FnMut(&StateView<'_, P>) -> Result<(), String>,
 {
     let n = procs.len();
-    assert_eq!(
-        symmetry.n(),
-        n,
-        "symmetry group is over {} processes, system has {n}",
-        symmetry.n()
-    );
-    let use_sym = config.symmetry && !symmetry.is_trivial();
-    let root = Node {
-        status: vec![Status::Running; n],
-        values: memory.snapshot().to_vec(),
-        procs,
-        crashes_left: config.max_crashes,
-    };
+    let mut engine = Engine::new(memory, symmetry.clone(), config, n);
+    let root = engine.root(procs);
 
     // Visited canonical states, each keyed with the hash of the concrete
     // state that first reached it — that lets the orbit-merge counter
     // tell a merge with a permuted sibling apart from a plain revisit.
     let mut visited: HashMap<Node<P>, u64> = HashMap::new();
     let mut stats = ExploreStats::default();
-    let mut scratch = AmpleScratch::new(n);
     // DFS stack: (node, schedule-so-far). The schedule is stored per node
     // to report violating paths; for small systems this is affordable.
     let mut stack: Vec<(Node<P>, Vec<ScheduleStep>)> = vec![(root, Vec::new())];
 
     while let Some((node, path)) = stack.pop() {
-        if use_sym {
-            let canon = canonicalize(&node, symmetry);
+        if engine.use_sym() {
+            let canon = engine.canonical_of(&node);
             let node_hash = full_hash(&node);
             match visited.get(&canon) {
                 Some(&first) => {
@@ -520,7 +375,7 @@ where
             return Err(ExploreError::StateBudget(stats.states));
         }
 
-        let mem = rebuild_memory(&memory, &node.values);
+        let mem = engine.memory_of(&node);
         let view = StateView {
             procs: &node.procs,
             status: &node.status,
@@ -545,92 +400,59 @@ where
             continue;
         }
 
-        // Partial-order reduction: expand a single provably-sufficient
-        // process when one exists. Sound only without pending crash
-        // branching (a crash commutes with nothing the victim would do).
-        if config.por && node.crashes_left == 0 && runnable.len() > 1 {
-            let ample =
-                select_ample(&node, &runnable, &memory, &visited, symmetry, use_sym, &mut scratch)?;
-            if let Some(i) = ample {
-                let succ = scratch.succ[i].take().expect("ample successor cached");
-                for s in scratch.succ.iter_mut() {
-                    *s = None;
-                }
-                stats.states_pruned_pot += runnable.len() as u64 - 1;
+        match engine.expand(&node, &runnable, AmpleMode::Safety, |key| {
+            visited.contains_key(key)
+        })? {
+            Expansion::Ample { pid, succ, .. } => {
+                stats.states_pruned_por += runnable.len() as u64 - 1;
                 stats.transitions += 1;
                 let mut next_path = path;
-                next_path.push(ScheduleStep::Step(ProcessId::new(i as u32)));
+                next_path.push(ScheduleStep::Step(pid));
                 stack.push((succ, next_path));
-                continue;
             }
-        }
-
-        for &i in &runnable {
-            // Crash transition.
-            if node.crashes_left > 0 {
-                let mut next = node.clone();
-                next.status[i] = Status::Crashed;
-                next.crashes_left -= 1;
-                let mut next_path = path.clone();
-                next_path.push(ScheduleStep::Crash(ProcessId::new(i as u32)));
-                stats.transitions += 1;
-                stack.push((next, next_path));
+            Expansion::Full(succs) => {
+                for (step, succ) in succs {
+                    stats.transitions += 1;
+                    let mut next_path = path.clone();
+                    next_path.push(step);
+                    stack.push((succ, next_path));
+                }
             }
-            // Step transition — reusing the successor ample selection
-            // already computed for this candidate, if any.
-            let next = match scratch.succ[i].take() {
-                Some(cached) => cached,
-                None => expand_step(&node, i, &memory)?,
-            };
-            let mut next_path = path.clone();
-            next_path.push(ScheduleStep::Step(ProcessId::new(i as u32)));
-            stats.transitions += 1;
-            stack.push((next, next_path));
         }
     }
     Ok(stats)
 }
 
-fn rebuild_memory(template: &Memory, values: &[Value]) -> Memory {
-    let mut mem = template.clone();
-    for (i, v) in values.iter().enumerate() {
-        mem.poke(cfc_core::RegisterId::new(i as u32), *v);
-    }
-    mem
-}
-
 /// Statistics of a completed progress (deadlock-freedom) check.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProgressStats {
-    /// Distinct states in the reachability graph.
+    /// Distinct (canonical) states in the reachability graph.
     pub states: usize,
     /// Transitions in the graph.
     pub transitions: u64,
     /// Quiescent states.
     pub terminals: usize,
+    /// Enabled transitions not expanded because a single ample process
+    /// sufficed (partial-order reduction; same semantics as
+    /// [`ExploreStats::states_pruned_por`]).
+    pub states_pruned_por: u64,
+    /// Successor states folded into an already-interned member of their
+    /// symmetry orbit that differs from them as a concrete state (plain
+    /// revisits of the canonical representative are not merges).
+    pub orbits_merged: u64,
 }
 
-/// Exhaustively verifies *possibility of progress*: from **every**
-/// reachable state of the system, some continuation reaches quiescence
-/// (all processes halted).
-///
-/// For one-shot mutual-exclusion clients this is deadlock freedom in the
-/// classic sense — no reachable state is stuck, and no set of processes
-/// can wedge the system so that nobody can ever finish. (It does not rule
-/// out unfair infinite schedules that starve a process; the paper's
-/// algorithms are deadlock-free, not starvation-free, and so is this
-/// property.)
-///
-/// The check builds the full state graph, then back-propagates
-/// "can reach a terminal" over reversed edges. It always runs un-reduced:
-/// the [`ExploreConfig`] reduction flags are ignored here (the reachable
-/// *sub*-graph a reduction keeps could misclassify a pruned state's
-/// ability to progress).
+/// Exhaustively verifies *possibility of progress* under the trivial
+/// symmetry group: from **every** reachable state of the system, some
+/// continuation reaches quiescence. Equivalent to [`check_progress_sym`]
+/// with [`SymmetryGroup::trivial`]; use `check_progress_sym` to make
+/// [`ExploreConfig::symmetry`] effective.
 ///
 /// # Errors
 ///
-/// Returns a [`Violation`] naming a stuck state if one exists, a
-/// state-budget error for oversized systems, or a memory error.
+/// Returns a [`Violation`] with a replayable schedule to a stuck state if
+/// one exists, a state-budget error for oversized systems, or a memory
+/// error.
 pub fn check_progress<P>(
     memory: Memory,
     procs: Vec<P>,
@@ -639,88 +461,227 @@ pub fn check_progress<P>(
 where
     P: Process + Clone + Eq + Hash,
 {
-    use std::collections::HashMap;
+    let group = SymmetryGroup::trivial(procs.len());
+    check_progress_sym(memory, procs, &group, config)
+}
 
+/// Exhaustively verifies *possibility of progress*: from **every**
+/// reachable state of the system, some continuation reaches quiescence
+/// (no process still running).
+///
+/// For one-shot mutual-exclusion clients this is deadlock freedom in the
+/// classic sense — no reachable state is stuck, and no set of processes
+/// can wedge the system so that nobody can ever finish. (It does not rule
+/// out unfair infinite schedules that starve a process; the paper's
+/// algorithms are deadlock-free, not starvation-free, and so is this
+/// property.)
+///
+/// The check builds the state graph breadth-first over the shared engine,
+/// then back-propagates "can reach a terminal" over reversed edges. Both
+/// [`ExploreConfig`] reductions apply (see the module docs for why they
+/// are sound for progress): with `symmetry`, the graph is the canonical
+/// quotient — one interned representative per orbit, never stored twice —
+/// and with `por`, states are expanded through a single independent
+/// process when the fresh-successor proviso allows.
+///
+/// The crash budget is honored: with `max_crashes > 0` the graph branches
+/// on adversarial crash transitions exactly like [`explore_sym`], and
+/// **crashed processes count as quiesced** — quiescence means no process
+/// is still `Running`, so a run in which some processes crashed and all
+/// others halted is a valid terminal. Partial-order reduction is
+/// suspended at any state that can still crash.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming a stuck state if one exists — its
+/// schedule is a concrete path from the initial state to (an orbit
+/// sibling of) the stuck state, reconstructed from predecessor edges,
+/// and [`replay`] accepts it — a state-budget error for oversized
+/// systems, or a memory error.
+///
+/// # Panics
+///
+/// Panics if `symmetry` is defined over a different process count.
+pub fn check_progress_sym<P>(
+    memory: Memory,
+    procs: Vec<P>,
+    symmetry: &SymmetryGroup,
+    config: ExploreConfig,
+) -> Result<ProgressStats, ExploreError>
+where
+    P: Process + Clone + Eq + Hash,
+{
     let n = procs.len();
-    let root = Node {
-        status: vec![Status::Running; n],
-        values: memory.snapshot().to_vec(),
-        procs,
-        crashes_left: 0,
-    };
+    let mut engine = Engine::new(memory, symmetry.clone(), config, n);
+    let root = engine.root(procs.clone());
+    let mut stats = ProgressStats::default();
 
-    let mut index: HashMap<Node<P>, usize> = HashMap::new();
-    let mut rev_edges: Vec<Vec<usize>> = Vec::new();
+    // The state graph, stored once: `nodes[id]` is the canonical
+    // representative of orbit `id` (the only copy of the state — the
+    // digest buckets hold ids, not nodes, and expansion borrows
+    // `&nodes[id]` instead of cloning it), `rev_edges[id]` its reversed
+    // edges. The first entry of `rev_edges[id]` is always the node that
+    // first generated `id`, whose own id is strictly smaller — the
+    // predecessor tree used to reconstruct violation schedules.
+    let mut nodes: Vec<Node<P>> = Vec::new();
+    let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut rev_edges: Vec<Vec<u32>> = Vec::new();
     let mut terminal: Vec<bool> = Vec::new();
-    let mut queue: Vec<Node<P>> = Vec::new();
 
-    index.insert(root.clone(), 0);
+    let root_canon = engine.canonical_of(&root);
+    buckets.entry(full_hash(&root_canon)).or_default().push(0);
+    nodes.push(root_canon);
     rev_edges.push(Vec::new());
     terminal.push(false);
-    queue.push(root);
 
-    let mut transitions = 0u64;
     let mut cursor = 0usize;
-    while cursor < queue.len() {
-        let node = queue[cursor].clone();
-        let id = cursor;
-        cursor += 1;
-        if index.len() > config.max_states {
-            return Err(ExploreError::StateBudget(index.len()));
+    while cursor < nodes.len() {
+        if nodes.len() > config.max_states {
+            return Err(ExploreError::StateBudget(nodes.len()));
         }
-
         let runnable: Vec<usize> = (0..n)
-            .filter(|&i| node.status[i] == Status::Running)
+            .filter(|&i| nodes[cursor].status[i] == Status::Running)
             .collect();
         if runnable.is_empty() {
-            terminal[id] = true;
+            terminal[cursor] = true;
+            cursor += 1;
             continue;
         }
-        for &i in &runnable {
-            let next = expand_step(&node, i, &memory)?;
-            transitions += 1;
-            let next_id = match index.get(&next) {
-                Some(&existing) => existing,
-                None => {
-                    let new_id = queue.len();
-                    index.insert(next.clone(), new_id);
-                    rev_edges.push(Vec::new());
-                    terminal.push(false);
-                    queue.push(next);
-                    new_id
+        let expansion = engine.expand(&nodes[cursor], &runnable, AmpleMode::Progress, |key| {
+            buckets
+                .get(&full_hash(key))
+                .is_some_and(|b| b.iter().any(|&id| nodes[id as usize] == *key))
+        })?;
+        // Successors paired with their canonical form, when the ample
+        // selection already computed it for the fresh-successor proviso.
+        let succs = match expansion {
+            Expansion::Ample { pid, succ, canon } => {
+                stats.states_pruned_por += runnable.len() as u64 - 1;
+                vec![(ScheduleStep::Step(pid), succ, canon)]
+            }
+            Expansion::Full(list) => list
+                .into_iter()
+                .map(|(step, succ)| (step, succ, None))
+                .collect(),
+        };
+        for (_, succ, canon) in succs {
+            stats.transitions += 1;
+            let (canon, permuted) = match canon {
+                Some(canon) => {
+                    let permuted = canon != succ;
+                    (canon, permuted)
                 }
+                None if engine.use_sym() => {
+                    let canon = engine.canonical_of(&succ);
+                    let permuted = canon != succ;
+                    (canon, permuted)
+                }
+                None => (succ, false),
             };
-            rev_edges[next_id].push(id);
+            let bucket = buckets.entry(full_hash(&canon)).or_default();
+            match bucket.iter().copied().find(|&id| nodes[id as usize] == canon) {
+                Some(id) => {
+                    if permuted {
+                        stats.orbits_merged += 1;
+                    }
+                    rev_edges[id as usize].push(cursor as u32);
+                }
+                None => {
+                    let id = nodes.len() as u32;
+                    bucket.push(id);
+                    nodes.push(canon);
+                    rev_edges.push(vec![cursor as u32]);
+                    terminal.push(false);
+                }
+            }
         }
+        cursor += 1;
     }
 
     // Back-propagate reachability of quiescence.
-    let states = queue.len();
+    let states = nodes.len();
+    stats.states = states;
+    stats.terminals = terminal.iter().filter(|t| **t).count();
     let mut can_finish = terminal.clone();
     let mut work: Vec<usize> = (0..states).filter(|&i| terminal[i]).collect();
     while let Some(s) = work.pop() {
         for &pred in &rev_edges[s] {
-            if !can_finish[pred] {
-                can_finish[pred] = true;
-                work.push(pred);
+            if !can_finish[pred as usize] {
+                can_finish[pred as usize] = true;
+                work.push(pred as usize);
             }
         }
     }
 
     if let Some(stuck) = (0..states).find(|&i| !can_finish[i]) {
+        let stuck_count = can_finish.iter().filter(|c| !**c).count();
+        let schedule = recover_schedule(&engine, engine.root(procs), stuck, &nodes, &rev_edges)?;
         return Err(ExploreError::Violation(Box::new(Violation {
-            schedule: Vec::new(),
+            schedule,
             message: format!(
-                "state {stuck} of {states} cannot reach quiescence (deadlock/livelock)"
+                "stuck state: no continuation reaches quiescence \
+                 ({stuck_count} of {states} states cannot finish)"
             ),
         })));
     }
 
-    Ok(ProgressStats {
-        states,
-        transitions,
-        terminals: terminal.iter().filter(|t| **t).count(),
-    })
+    Ok(stats)
+}
+
+/// Reconstructs a concrete, [`replay`]-able schedule from the initial
+/// state to (an orbit sibling of) state `stuck` of the progress graph.
+///
+/// The id path comes from the predecessor tree (the first reversed edge
+/// of every node is its creator, whose id is strictly smaller, so the
+/// chain terminates at the root). Because the graph stores canonical
+/// representatives, an edge `a → b` only promises that *some* step of
+/// *some* concrete member of orbit `a` lands in orbit `b`; the walk below
+/// re-derives the concrete witness: starting from the real initial state,
+/// it finds at every hop a step (or crash) whose successor canonicalizes
+/// to the next representative — one always exists, because permuting a
+/// symmetry class is an automorphism of the transition relation.
+fn recover_schedule<P: Process + Clone + Eq + Hash>(
+    engine: &Engine<P>,
+    root: Node<P>,
+    stuck: usize,
+    nodes: &[Node<P>],
+    rev_edges: &[Vec<u32>],
+) -> Result<Vec<ScheduleStep>, ExploreError> {
+    let mut path: Vec<usize> = vec![stuck];
+    while *path.last().expect("path is nonempty") != 0 {
+        let id = *path.last().expect("path is nonempty");
+        path.push(rev_edges[id][0] as usize);
+    }
+    path.reverse();
+
+    let n = root.status.len();
+    let mut cur = root;
+    let mut schedule = Vec::with_capacity(path.len() - 1);
+    for &next in &path[1..] {
+        let target = &nodes[next];
+        let mut found = None;
+        for i in (0..n).filter(|&i| cur.status[i] == Status::Running) {
+            let succ = expand_step(&cur, i, engine.template())?;
+            if engine.matches_canonical(&succ, target) {
+                found = Some((ScheduleStep::Step(ProcessId::new(i as u32)), succ));
+                break;
+            }
+            if cur.crashes_left > 0 {
+                let mut crashed = cur.clone();
+                crashed.status[i] = Status::Crashed;
+                crashed.crashes_left -= 1;
+                if engine.matches_canonical(&crashed, target) {
+                    found = Some((ScheduleStep::Crash(ProcessId::new(i as u32)), crashed));
+                    break;
+                }
+            }
+        }
+        let (step, succ) =
+            found.expect("every edge of the canonical quotient has a concrete witness");
+        schedule.push(step);
+        cur = succ;
+    }
+    Ok(schedule)
 }
 
 /// The final state of a replayed schedule: the trace plus everything
@@ -758,8 +719,8 @@ impl<P> Replayed<P> {
 ///
 /// # Errors
 ///
-/// Propagates executor errors; a schedule obtained from [`explore`] or
-/// [`explore_sym`] always replays cleanly.
+/// Propagates executor errors; a schedule obtained from [`explore`],
+/// [`explore_sym`], or the progress checkers always replays cleanly.
 ///
 /// # Panics
 ///
@@ -877,6 +838,118 @@ mod tests {
         )
     }
 
+    /// A process of a deliberately deadlock-prone pair: it test-and-sets
+    /// `first`, then `second` (spinning on each until acquired), then
+    /// releases both and halts. Two of these with opposite lock orders
+    /// can finish (one runs solo) — but once each holds its first lock,
+    /// both spin forever: a reachable stuck state.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct LockGrab {
+        first: RegisterId,
+        second: RegisterId,
+        pc: u8, // 0: TAS first, 1: TAS second, 2/3: release, 4: halt
+    }
+
+    impl Process for LockGrab {
+        fn current(&self) -> Step {
+            use cfc_core::BitOp;
+            match self.pc {
+                0 => Step::Op(Op::Bit(self.first, BitOp::TestAndSet)),
+                1 => Step::Op(Op::Bit(self.second, BitOp::TestAndSet)),
+                2 => Step::Op(Op::Write(self.first, Value::ZERO)),
+                3 => Step::Op(Op::Write(self.second, Value::ZERO)),
+                _ => Step::Halt,
+            }
+        }
+        fn advance(&mut self, result: OpResult) {
+            match self.pc {
+                // Spin until the test-and-set finds the bit clear.
+                0 | 1 => {
+                    if result.value() == Value::ZERO {
+                        self.pc += 1;
+                    }
+                }
+                _ => self.pc += 1,
+            }
+        }
+    }
+
+    fn deadlock_pair() -> (Memory, Vec<LockGrab>) {
+        let mut layout = Layout::new();
+        let a = layout.bit("a", false);
+        let b = layout.bit("b", false);
+        let memory = Memory::new(layout, 1).unwrap();
+        (
+            memory,
+            vec![
+                LockGrab {
+                    first: a,
+                    second: b,
+                    pc: 0,
+                },
+                LockGrab {
+                    first: b,
+                    second: a,
+                    pc: 0,
+                },
+            ],
+        )
+    }
+
+    /// One writer raises a flag and halts; one waiter spins until it sees
+    /// the flag raised. Progress holds crash-free but fails if the writer
+    /// can crash first.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct FlagWaiter {
+        flag: RegisterId,
+        writer: bool,
+        pc: u8,
+    }
+
+    impl Process for FlagWaiter {
+        fn current(&self) -> Step {
+            if self.writer {
+                match self.pc {
+                    0 => Step::Op(Op::Write(self.flag, Value::ONE)),
+                    _ => Step::Halt,
+                }
+            } else {
+                match self.pc {
+                    0 => Step::Op(Op::Read(self.flag)),
+                    _ => Step::Halt,
+                }
+            }
+        }
+        fn advance(&mut self, result: OpResult) {
+            // The writer advances unconditionally; the waiter only once
+            // it has seen the flag raised.
+            if self.writer || result.value() == Value::ONE {
+                self.pc = 1;
+            }
+        }
+    }
+
+    fn flag_system() -> (Memory, Vec<FlagWaiter>) {
+        let mut layout = Layout::new();
+        let f = layout.bit("f", false);
+        let memory = Memory::new(layout, 1).unwrap();
+        (
+            memory,
+            vec![
+                FlagWaiter {
+                    flag: f,
+                    writer: true,
+                    pc: 0,
+                },
+                FlagWaiter {
+                    flag: f,
+                    writer: false,
+                    pc: 0,
+                },
+            ],
+        )
+    }
+
     #[test]
     fn finds_the_lost_update() {
         // The explorer must find the interleaving where both processes
@@ -929,7 +1002,7 @@ mod tests {
         assert!(stats.states > 5);
         assert!(stats.terminals >= 2);
         // The baseline explorer reduces nothing.
-        assert_eq!(stats.states_pruned_pot, 0);
+        assert_eq!(stats.states_pruned_por, 0);
         assert_eq!(stats.orbits_merged, 0);
     }
 
@@ -999,7 +1072,7 @@ mod tests {
         let (red, red_counts) = collect(true);
         assert_eq!(base_counts, red_counts);
         assert!(red.states <= base.states);
-        assert!(red.states_pruned_pot > 0);
+        assert!(red.states_pruned_por > 0);
     }
 
     #[test]
@@ -1089,5 +1162,113 @@ mod tests {
         procs.swap(0, 1);
         let t2 = canonical_key(&procs, &status, &mem, &trivial);
         assert_ne!(t1, t2);
+    }
+
+    // -----------------------------------------------------------------
+    // Progress checking.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn progress_holds_for_the_increment_pair() {
+        let (memory, procs) = incr_system();
+        let stats = check_progress(memory, procs, ExploreConfig::default()).unwrap();
+        assert!(stats.states > 5);
+        assert!(stats.terminals >= 1);
+        assert_eq!(stats.states_pruned_por, 0);
+        assert_eq!(stats.orbits_merged, 0);
+    }
+
+    #[test]
+    fn progress_verdict_matches_across_reductions() {
+        let (memory, procs) = incr_system();
+        let base = check_progress(memory.clone(), procs.clone(), ExploreConfig::default()).unwrap();
+        let red = check_progress_sym(
+            memory,
+            procs,
+            &SymmetryGroup::full(2),
+            ExploreConfig::reduced(),
+        )
+        .unwrap();
+        assert!(red.states <= base.states);
+        assert!(red.orbits_merged > 0 || red.states_pruned_por > 0);
+    }
+
+    #[test]
+    fn deadlocking_pair_is_caught_with_a_replayable_schedule() {
+        // Regression: progress violations used to report an empty
+        // schedule ("state N of M"); they must now carry a concrete path
+        // that replays to the stuck state.
+        let (memory, procs) = deadlock_pair();
+        let err = check_progress(memory.clone(), procs.clone(), ExploreConfig::default())
+            .unwrap_err();
+        let ExploreError::Violation(v) = err else {
+            panic!("expected a progress violation");
+        };
+        assert!(v.message.contains("quiescence"), "{v}");
+        assert!(!v.schedule.is_empty(), "schedule must not be empty");
+        let replayed = replay(memory, procs, &v.schedule).unwrap();
+        // The replayed state is genuinely wedged: both locks held, both
+        // processes still running (each spinning on the other's lock).
+        assert_eq!(replayed.memory.get(RegisterId::new(0)), Value::ONE);
+        assert_eq!(replayed.memory.get(RegisterId::new(1)), Value::ONE);
+        assert!(replayed.status.iter().all(|s| *s == Status::Running));
+    }
+
+    #[test]
+    fn deadlocking_pair_is_caught_under_reduction_too() {
+        let (memory, procs) = deadlock_pair();
+        for config in [
+            ExploreConfig {
+                por: true,
+                ..ExploreConfig::default()
+            },
+            ExploreConfig::reduced(),
+        ] {
+            let err =
+                check_progress_sym(memory.clone(), procs.clone(), &SymmetryGroup::full(2), config)
+                    .unwrap_err();
+            let ExploreError::Violation(v) = err else {
+                panic!("expected a progress violation");
+            };
+            let replayed = replay(memory.clone(), procs.clone(), &v.schedule).unwrap();
+            assert_eq!(replayed.memory.get(RegisterId::new(0)), Value::ONE);
+            assert_eq!(replayed.memory.get(RegisterId::new(1)), Value::ONE);
+        }
+    }
+
+    #[test]
+    fn crash_budget_is_honored_by_progress() {
+        // Crash-free, the waiter can always finish (schedule the writer
+        // first), but a crashed writer wedges it forever: the crash
+        // budget must be part of the progress graph, and the violating
+        // schedule must contain the crash.
+        let (memory, procs) = flag_system();
+        check_progress(memory.clone(), procs.clone(), ExploreConfig::default()).unwrap();
+        let err = check_progress(
+            memory.clone(),
+            procs.clone(),
+            ExploreConfig::default().with_max_crashes(1),
+        )
+        .unwrap_err();
+        let ExploreError::Violation(v) = err else {
+            panic!("expected a progress violation under crashes");
+        };
+        assert!(
+            v.schedule
+                .iter()
+                .any(|s| matches!(s, ScheduleStep::Crash(p) if p.index() == 0)),
+            "schedule {:?} must crash the writer",
+            v.schedule
+        );
+        let replayed = replay(memory, procs, &v.schedule).unwrap();
+        assert_eq!(replayed.status[0], Status::Crashed);
+    }
+
+    #[test]
+    fn progress_budget_is_enforced() {
+        let (memory, procs) = incr_system();
+        let err = check_progress(memory, procs, ExploreConfig::default().with_max_states(3))
+            .unwrap_err();
+        assert!(matches!(err, ExploreError::StateBudget(_)));
     }
 }

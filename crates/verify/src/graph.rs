@@ -1,0 +1,412 @@
+//! The shared state-graph engine behind the exhaustive explorers.
+//!
+//! Both search drivers in [`crate::explore`] — the DFS safety explorer
+//! ([`crate::explore::explore_sym`]) and the BFS progress checker
+//! ([`crate::explore::check_progress_sym`]) — walk the same state graph:
+//! global states (process local states, register values, liveness
+//! statuses, remaining crash budget) connected by process steps and crash
+//! transitions. This module owns everything the two drivers share so the
+//! graph semantics cannot drift apart:
+//!
+//! * [`Node`] — the global-state representation and its successor
+//!   function ([`expand_step`], crash branching inside [`Engine::expand`]);
+//! * canonicalization under a [`SymmetryGroup`] ([`canonicalize`],
+//!   [`state_fingerprint`]) for symmetry-reduced visited keys;
+//! * ample-set selection for partial-order reduction, parameterized by
+//!   [`AmpleMode`]: the safety explorer needs the full C1–C3 conditions,
+//!   while progress checking can drop the invisibility condition C2
+//!   (quiescence is a property of the graph, not of the per-state
+//!   observation) and instead relies on the *fresh-successor* proviso —
+//!   see the soundness notes on [`AmpleMode::Progress`].
+//!
+//! The drivers keep their own visited structures (the DFS memoizes
+//! concrete states keyed canonically at pop time; the BFS interns one
+//! canonical representative per orbit with predecessor edges) and pass
+//! the engine a containment query, so each preserves its historical
+//! search order exactly.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use cfc_core::{
+    Footprint, Memory, OpResult, Process, ProcessId, RegisterSet, Status, Step, SymmetryGroup,
+    Value,
+};
+
+use crate::explore::{ExploreConfig, ExploreError, ScheduleStep};
+
+/// A global state of the explored system.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct Node<P> {
+    /// Process local states, indexed by pid.
+    pub(crate) procs: Vec<P>,
+    /// The shared-register values (the memory image).
+    pub(crate) values: Vec<Value>,
+    /// Per-process liveness statuses.
+    pub(crate) status: Vec<Status>,
+    /// How many crash transitions the adversary may still inject.
+    pub(crate) crashes_left: u32,
+}
+
+/// The fingerprint used to canonically order interchangeable processes:
+/// the process's own [`Process::fingerprint`] if it provides one, a hash
+/// of its full state otherwise, mixed with its liveness status.
+pub(crate) fn state_fingerprint<P: Process + Hash>(p: &P, status: Status) -> u64 {
+    let mut h = DefaultHasher::new();
+    match p.fingerprint() {
+        Some(fp) => fp.hash(&mut h),
+        None => p.hash(&mut h),
+    }
+    status.hash(&mut h);
+    h.finish()
+}
+
+pub(crate) fn full_hash<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// The orbit representative of a node: within every symmetry class, the
+/// (local state, status) pairs are rearranged into fingerprint order.
+///
+/// Sorting is *stable*, so fingerprint collisions between distinct local
+/// states can only forfeit a merge, never create an unsound one: two
+/// nodes canonicalize equally iff they are genuine class-respecting
+/// permutations of one another.
+pub(crate) fn canonicalize<P: Process + Clone + Hash>(
+    node: &Node<P>,
+    group: &SymmetryGroup,
+) -> Node<P> {
+    let mut canon = node.clone();
+    for class in group.classes() {
+        let mut order: Vec<usize> = class.clone();
+        order.sort_by_key(|&i| state_fingerprint(&node.procs[i], node.status[i]));
+        for (&dst, &src) in class.iter().zip(order.iter()) {
+            if dst != src {
+                canon.procs[dst] = node.procs[src].clone();
+                canon.status[dst] = node.status[src];
+            }
+        }
+    }
+    canon
+}
+
+/// Computes the successor of `node` when process `i` takes its next step.
+pub(crate) fn expand_step<P: Process + Clone>(
+    node: &Node<P>,
+    i: usize,
+    template: &Memory,
+) -> Result<Node<P>, ExploreError> {
+    let mut next = node.clone();
+    match next.procs[i].current() {
+        Step::Halt => next.status[i] = Status::Done,
+        Step::Internal => next.procs[i].advance(OpResult::None),
+        Step::Op(op) => {
+            let mut mem = rebuild_memory(template, &next.values);
+            let result = mem.apply(&op).map_err(ExploreError::Memory)?;
+            next.values = mem.snapshot().to_vec();
+            next.procs[i].advance(result);
+        }
+    }
+    Ok(next)
+}
+
+/// A memory instance with `values` poked over the layout of `template`.
+pub(crate) fn rebuild_memory(template: &Memory, values: &[Value]) -> Memory {
+    let mut mem = template.clone();
+    for (i, v) in values.iter().enumerate() {
+        mem.poke(cfc_core::RegisterId::new(i as u32), *v);
+    }
+    mem
+}
+
+/// Which property the search preserves — this decides how aggressive the
+/// ample-set selection may be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AmpleMode {
+    /// Per-state observations (sections and outputs) must be preserved up
+    /// to stuttering: the classical conditions C1 (independence), C2
+    /// (invisibility), and C3 (cycle proviso) all apply. Used by the DFS
+    /// safety explorer.
+    Safety,
+    /// Only *reachability of quiescence* must be preserved, in both
+    /// directions. The invisibility condition C2 is dropped — quiescence
+    /// is a property of the graph shape, not of sections or outputs, so a
+    /// visible step is as good an ample candidate as an invisible one.
+    ///
+    /// Soundness (sketch; the full argument is in the README):
+    ///
+    /// * *No false alarms.* Ample sets here are singletons, and C1 makes
+    ///   the ample step independent of every step any other running
+    ///   process can ever take, so it commutes with any path to
+    ///   quiescence: if a state can quiesce in the full graph, its single
+    ///   ample successor still can, by induction on the path length.
+    /// * *No missed violations.* The fresh-successor proviso (the ample
+    ///   successor must never have been seen) guarantees every cycle of
+    ///   the reduced graph contains a fully expanded state, so no enabled
+    ///   transition is deferred forever: any full-graph run can be
+    ///   mimicked, up to commuting deferred ample steps past it, by a
+    ///   reduced run reaching a state from which the original state's
+    ///   fate (stuck or not) is unchanged.
+    Progress,
+}
+
+/// The successors of one node, as chosen by the engine.
+#[derive(Debug)]
+pub(crate) enum Expansion<P> {
+    /// Partial-order reduction proved one process sufficient: its single
+    /// successor stands for the whole enabled set.
+    Ample {
+        /// The process that stepped.
+        pid: ProcessId,
+        /// Its successor state.
+        succ: Node<P>,
+        /// The canonical form of `succ`, already computed for the
+        /// fresh-successor proviso when symmetry reduction is on — so
+        /// callers that intern canonically need not recanonicalize.
+        canon: Option<Node<P>>,
+    },
+    /// Full expansion: for every runnable process, its step successor —
+    /// preceded by its crash successor whenever crashes remain.
+    Full(Vec<(ScheduleStep, Node<P>)>),
+}
+
+/// The result of an ample selection: the winning candidate's process
+/// index paired with its successor's canonical form (already computed
+/// for the fresh-successor proviso when symmetry reduction is on), or
+/// `None` when the state must be fully expanded.
+type AmpleChoice<P> = Option<(usize, Option<Node<P>>)>;
+
+/// Reused per-state scratch of the ample selection: future-access sets
+/// and the successors computed while testing candidates (handed to the
+/// full expansion on fallback, so no transition is computed twice).
+struct AmpleScratch<P> {
+    may: Vec<(bool, RegisterSet)>,
+    succ: Vec<Option<Node<P>>>,
+}
+
+impl<P> AmpleScratch<P> {
+    fn new(n: usize) -> Self {
+        AmpleScratch {
+            may: (0..n).map(|_| (false, RegisterSet::new())).collect(),
+            succ: (0..n).map(|_| None).collect(),
+        }
+    }
+}
+
+/// The shared state-graph engine: owns the memory template, the symmetry
+/// group, the reduction configuration, and the ample-selection scratch.
+pub(crate) struct Engine<P> {
+    template: Memory,
+    symmetry: SymmetryGroup,
+    config: ExploreConfig,
+    use_sym: bool,
+    scratch: AmpleScratch<P>,
+}
+
+impl<P: Process + Clone + Eq + Hash> Engine<P> {
+    /// Builds an engine for `n` processes over `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symmetry` is defined over a different process count.
+    pub(crate) fn new(memory: Memory, symmetry: SymmetryGroup, config: ExploreConfig, n: usize) -> Self {
+        assert_eq!(
+            symmetry.n(),
+            n,
+            "symmetry group is over {} processes, system has {n}",
+            symmetry.n()
+        );
+        let use_sym = config.symmetry && !symmetry.is_trivial();
+        Engine {
+            template: memory,
+            symmetry,
+            config,
+            use_sym,
+            scratch: AmpleScratch::new(n),
+        }
+    }
+
+    /// The initial node: all processes running, the template memory image,
+    /// the configured crash budget.
+    pub(crate) fn root(&self, procs: Vec<P>) -> Node<P> {
+        Node {
+            status: vec![Status::Running; procs.len()],
+            values: self.template.snapshot().to_vec(),
+            procs,
+            crashes_left: self.config.max_crashes,
+        }
+    }
+
+    /// The memory template (layout + atomicity) states are expanded over.
+    pub(crate) fn template(&self) -> &Memory {
+        &self.template
+    }
+
+    /// Whether symmetry reduction is effective (enabled and non-trivial).
+    pub(crate) fn use_sym(&self) -> bool {
+        self.use_sym
+    }
+
+    /// A [`Memory`] carrying `node`'s register values.
+    pub(crate) fn memory_of(&self, node: &Node<P>) -> Memory {
+        rebuild_memory(&self.template, &node.values)
+    }
+
+    /// The canonical (orbit-representative) form of `node` — `node`
+    /// itself, cloned, when symmetry reduction is off.
+    pub(crate) fn canonical_of(&self, node: &Node<P>) -> Node<P> {
+        if self.use_sym {
+            canonicalize(node, &self.symmetry)
+        } else {
+            node.clone()
+        }
+    }
+
+    /// Whether the concrete node `concrete` falls into the orbit whose
+    /// canonical representative is `canon`.
+    pub(crate) fn matches_canonical(&self, concrete: &Node<P>, canon: &Node<P>) -> bool {
+        if self.use_sym {
+            canonicalize(concrete, &self.symmetry) == *canon
+        } else {
+            concrete == canon
+        }
+    }
+
+    /// Computes the successors of `node` (whose runnable processes are
+    /// `runnable`): a single ample successor when partial-order reduction
+    /// applies, the full enabled set (crash transitions first) otherwise.
+    ///
+    /// `visited` answers whether a (canonical) node has already been seen;
+    /// the ample conditions consult it for the cycle/fresh-successor
+    /// proviso. Crash branching disables the reduction at any state that
+    /// can still crash (a crash commutes with nothing its victim would
+    /// do).
+    pub(crate) fn expand<F>(
+        &mut self,
+        node: &Node<P>,
+        runnable: &[usize],
+        mode: AmpleMode,
+        visited: F,
+    ) -> Result<Expansion<P>, ExploreError>
+    where
+        F: Fn(&Node<P>) -> bool,
+    {
+        if self.config.por && node.crashes_left == 0 && runnable.len() > 1 {
+            if let Some((i, canon)) = self.select_ample(node, runnable, mode, &visited)? {
+                let succ = self.scratch.succ[i].take().expect("ample successor cached");
+                for s in self.scratch.succ.iter_mut() {
+                    *s = None;
+                }
+                return Ok(Expansion::Ample {
+                    pid: ProcessId::new(i as u32),
+                    succ,
+                    canon,
+                });
+            }
+        }
+        let crashing = node.crashes_left > 0;
+        let mut out = Vec::with_capacity(runnable.len() * if crashing { 2 } else { 1 });
+        for &i in runnable {
+            if crashing {
+                let mut next = node.clone();
+                next.status[i] = Status::Crashed;
+                next.crashes_left -= 1;
+                out.push((ScheduleStep::Crash(ProcessId::new(i as u32)), next));
+            }
+            // Reuse any successor the ample selection already computed for
+            // this candidate instead of recomputing it.
+            let next = match self.scratch.succ[i].take() {
+                Some(cached) => cached,
+                None => expand_step(node, i, &self.template)?,
+            };
+            out.push((ScheduleStep::Step(ProcessId::new(i as u32)), next));
+        }
+        Ok(Expansion::Full(out))
+    }
+
+    /// Selects an ample process at `node`, leaving its (already computed)
+    /// successor in the scratch, or returns `None` when the state must be
+    /// fully expanded.
+    ///
+    /// A candidate `i` is ample when its next step is
+    /// 1. independent of every step any *other* running process can ever
+    ///    take — trivially so for local (`Internal`/`Halt`) steps, and via
+    ///    disjointness of the op footprint from the others'
+    ///    [`Process::may_access`] over-approximations otherwise (an
+    ///    unknown over-approximation disqualifies the candidate);
+    /// 2. under [`AmpleMode::Safety`] only, invisible: the stepping
+    ///    process's section and output are unchanged (halting changes
+    ///    only the liveness status, which `state_check` must not read
+    ///    under reduction — see the `explore` module docs);
+    /// 3. fresh: its successor has not been visited yet. For the DFS this
+    ///    is the classical C3 cycle proviso; for the BFS progress graph
+    ///    it is the strengthened fresh-successor proviso — either way,
+    ///    every cycle of the reduced graph contains a fully expanded
+    ///    state, so no transition is ignored forever.
+    fn select_ample<F>(
+        &mut self,
+        node: &Node<P>,
+        runnable: &[usize],
+        mode: AmpleMode,
+        visited: &F,
+    ) -> Result<AmpleChoice<P>, ExploreError>
+    where
+        F: Fn(&Node<P>) -> bool,
+    {
+        // Future-access over-approximations, computed once per state into
+        // the reused scratch buffers.
+        for &j in runnable {
+            let (known, set) = &mut self.scratch.may[j];
+            set.clear();
+            *known = node.procs[j].may_access(set);
+        }
+        let layout = self.template.layout();
+        'candidates: for &i in runnable {
+            let step = node.procs[i].current();
+            // Condition 1: independence with all concurrent futures.
+            if let Step::Op(op) = &step {
+                let fp = Footprint::of_op(op, layout);
+                for &j in runnable {
+                    if j == i {
+                        continue;
+                    }
+                    match &self.scratch.may[j] {
+                        (true, set) if !fp.touches(set) => {}
+                        _ => continue 'candidates,
+                    }
+                }
+            }
+            // Successors computed here are kept in the scratch: if no
+            // ample candidate survives, the full expansion reuses them
+            // instead of recomputing.
+            let succ = expand_step(node, i, &self.template)?;
+            let succ = self.scratch.succ[i].insert(succ);
+            // Condition 2: invisibility of the step — required only when
+            // per-state observations must be preserved.
+            if mode == AmpleMode::Safety
+                && !matches!(step, Step::Halt)
+                && (succ.procs[i].section() != node.procs[i].section()
+                    || succ.procs[i].output() != node.procs[i].output())
+            {
+                continue 'candidates;
+            }
+            // Condition 3: the cycle / fresh-successor proviso. The
+            // canonical form computed here rides along with the winner so
+            // canonically-interning callers need not recompute it.
+            if self.use_sym {
+                let canon = canonicalize(succ, &self.symmetry);
+                if visited(&canon) {
+                    continue 'candidates;
+                }
+                return Ok(Some((i, Some(canon))));
+            }
+            if visited(succ) {
+                continue 'candidates;
+            }
+            return Ok(Some((i, None)));
+        }
+        Ok(None)
+    }
+}

@@ -4,10 +4,13 @@
 //! The paper's lower bounds are proofs about *all* runs; this crate makes
 //! them executable:
 //!
-//! * [`explore`] — a memoizing DFS over every interleaving (and optional
-//!   crash pattern) of a small system, with safety checks in every state.
+//! * [`explore`](mod@explore) — a memoizing DFS over every interleaving (and optional
+//!   crash pattern) of a small system, with safety checks in every state,
+//!   plus a BFS progress checker over the same shared state-graph engine;
+//!   both support partial-order and symmetry reduction.
 //! * [`checks`] — ready-made exhaustive checks: mutual exclusion,
-//!   detection safety, naming uniqueness + wait-freedom.
+//!   detection safety, naming uniqueness + wait-freedom, and
+//!   deadlock-freedom (progress) for all three problem families.
 //! * [`merge`] — Lemma 2's merge construction: extract solo-run profiles,
 //!   test the lemma's condition, and build the forbidden two-winner run
 //!   when an algorithm violates it.
@@ -33,16 +36,18 @@
 pub mod adversary;
 pub mod checks;
 pub mod explore;
+mod graph;
 pub mod merge;
 pub mod stress;
 
 pub use adversary::{naming_profile, NamingProfile};
 pub use checks::{
-    check_detection_safety, check_mutex_progress, check_mutex_safety, check_naming_uniqueness,
+    check_detection_progress, check_detection_safety, check_mutex_progress, check_mutex_safety,
+    check_naming_progress, check_naming_uniqueness,
 };
 pub use explore::{
-    canonical_key, check_progress, explore, explore_sym, replay, ExploreConfig, ExploreError,
-    ExploreStats, ProgressStats, Replayed, ScheduleStep, Violation,
+    canonical_key, check_progress, check_progress_sym, explore, explore_sym, replay,
+    ExploreConfig, ExploreError, ExploreStats, ProgressStats, Replayed, ScheduleStep, Violation,
 };
 pub use merge::{
     assert_resists_merge, lemma2_condition, merge_attack, solo_profile, MergeError, MergeFailure,

@@ -132,7 +132,7 @@ fn reductions_shrink_exhaustive_naming_configs_5x() {
             red_stats.states
         );
         assert!(red_stats.orbits_merged > 0, "symmetry merged no orbits");
-        assert!(red_stats.states_pruned_pot > 0, "ample sets pruned nothing");
+        assert!(red_stats.states_pruned_por > 0, "ample sets pruned nothing");
         // Reduction must never lose quiescent coverage entirely.
         assert!(red_stats.terminals > 0);
     }

@@ -1,0 +1,240 @@
+//! Differential test harness for reduction-aware progress checking: on
+//! every small mutex/naming/detection configuration the baseline can
+//! still reach, the reduced progress checker (any combination of
+//! partial-order and symmetry reduction) must return the same verdict —
+//! and when a violation is reported, its schedule must replay under the
+//! un-reduced semantics to a genuinely non-quiescent state. The
+//! acceptance configuration at the bottom exceeds the un-reduced state
+//! budget and verifies only on the reduced graph.
+//!
+//! This is the progress-side sibling of `tests/reduction_equiv.rs`: the
+//! executable soundness evidence for running deadlock-freedom checks on
+//! the reduced state graph (symmetry quotients by a bisimulation;
+//! partial-order reduction keeps independence and the fresh-successor
+//! proviso while dropping invisibility — see the README "Verification
+//! pipeline" section for the argument).
+
+mod common;
+
+use cfc::core::Status;
+use cfc::mutex::{
+    Bakery, Dijkstra, DetectionAlgorithm, LamportFast, MutexAlgorithm, MutexDetector,
+    PetersonTwo, Splitter, SplitterTree, Tournament,
+};
+use cfc::naming::{NamingAlgorithm, TafTree, TasReadSearch, TasScan, TasTarTree};
+use cfc::verify::explore::ExploreConfig;
+use cfc::verify::{
+    check_detection_progress, check_mutex_progress, check_naming_progress, replay, ExploreError,
+    ProgressStats, ScheduleStep,
+};
+use common::{budget, por_only, reduced, sym_only};
+
+/// The three reduced variants differentially compared against a baseline.
+fn variants(max_states: usize) -> [(&'static str, ExploreConfig); 3] {
+    [
+        ("por", por_only(max_states)),
+        ("sym", sym_only(max_states)),
+        ("both", reduced(max_states)),
+    ]
+}
+
+/// A verdict a run can end with; budget/memory failures always panic.
+fn verdict(r: &Result<ProgressStats, ExploreError>, what: &str) -> bool {
+    match r {
+        Ok(_) => true,
+        Err(ExploreError::Violation(_)) => false,
+        Err(other) => panic!("{what}: unexpected progress-check failure: {other}"),
+    }
+}
+
+fn assert_mutex_progress_agrees<A>(alg: &A, trips: u32, max_states: usize)
+where
+    A: MutexAlgorithm,
+    A::Lock: Clone + Eq + std::hash::Hash,
+{
+    let base = check_mutex_progress(alg, trips, budget(max_states));
+    let base_ok = verdict(&base, alg.name());
+    for (label, cfg) in variants(max_states) {
+        let red = check_mutex_progress(alg, trips, cfg);
+        assert_eq!(
+            base_ok,
+            verdict(&red, alg.name()),
+            "{} with {label}: progress verdict flipped (baseline {base:?})",
+            alg.name()
+        );
+    }
+}
+
+fn assert_naming_progress_agrees<A>(alg: &A, crashes: u32, max_states: usize)
+where
+    A: NamingAlgorithm,
+    A::Proc: Clone + Eq + std::hash::Hash,
+{
+    let base = check_naming_progress(alg, crashes, budget(max_states));
+    let base_ok = verdict(&base, alg.name());
+    for (label, cfg) in variants(max_states) {
+        let red = check_naming_progress(alg, crashes, cfg);
+        assert_eq!(
+            base_ok,
+            verdict(&red, alg.name()),
+            "{} with {label} (crashes={crashes}): progress verdict flipped",
+            alg.name()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deadlock-free configurations: every variant must agree (all Ok).
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutex_progress_agrees_across_reductions() {
+    assert_mutex_progress_agrees(&PetersonTwo::new(), 2, 200_000);
+    assert_mutex_progress_agrees(&LamportFast::new(2), 1, 200_000);
+    assert_mutex_progress_agrees(&LamportFast::new(3), 1, 200_000);
+    assert_mutex_progress_agrees(&Bakery::new(2), 1, 200_000);
+    assert_mutex_progress_agrees(&Dijkstra::new(2), 1, 200_000);
+    assert_mutex_progress_agrees(&Tournament::new(3, 1), 1, 200_000);
+    assert_mutex_progress_agrees(&Tournament::new(4, 1), 1, 200_000);
+}
+
+#[test]
+fn naming_progress_agrees_across_reductions() {
+    for crashes in 0..=1 {
+        assert_naming_progress_agrees(&TasScan::new(3), crashes, 100_000);
+        assert_naming_progress_agrees(&TafTree::new(4).unwrap(), crashes, 100_000);
+        assert_naming_progress_agrees(&TasTarTree::new(2).unwrap(), crashes, 100_000);
+        assert_naming_progress_agrees(&TasReadSearch::new(3), crashes, 100_000);
+    }
+}
+
+#[test]
+fn detection_progress_agrees_across_reductions() {
+    // Splitters always terminate: progress holds for every participant.
+    for (label, cfg) in variants(200_000) {
+        let r = check_detection_progress(&Splitter::new(3), cfg);
+        assert!(verdict(&r, "splitter"), "{label}");
+        let r = check_detection_progress(&SplitterTree::new(4, 1), cfg);
+        assert!(verdict(&r, "splitter tree"), "{label}");
+    }
+    check_detection_progress(&Splitter::new(3), budget(200_000)).unwrap();
+    check_detection_progress(&SplitterTree::new(4, 1), budget(200_000)).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// A genuinely non-progressing system: the Lemma 1 mutex-derived detector
+// (losers busy-wait forever). Every variant must find a stuck state, and
+// the schedule must replay to a non-quiescent state under the un-reduced
+// semantics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn lemma1_detector_violation_replays_in_every_variant() {
+    let alg = MutexDetector::new(PetersonTwo::new());
+    let base = check_detection_progress(&alg, budget(100_000));
+    assert!(!verdict(&base, "lemma-1 detector"));
+    let mut runs: Vec<(&str, Result<ProgressStats, ExploreError>)> = vec![("baseline", base)];
+    for (label, cfg) in variants(100_000) {
+        runs.push((label, check_detection_progress(&alg, cfg)));
+    }
+    for (label, run) in runs {
+        let Err(ExploreError::Violation(v)) = run else {
+            panic!("{label}: expected a progress violation");
+        };
+        assert!(
+            !v.schedule.is_empty(),
+            "{label}: stuck state must be reached by a concrete schedule"
+        );
+        let procs: Vec<_> = (0..alg.n() as u32)
+            .map(|i| alg.process(cfc::core::ProcessId::new(i)))
+            .collect();
+        let replayed = replay(alg.memory().unwrap(), procs, &v.schedule).unwrap();
+        // The replayed state is not quiescent — someone is still spinning
+        // in the mutex entry code with the claim already taken.
+        assert!(
+            replayed.status.contains(&Status::Running),
+            "{label}: replayed state is quiescent, so it cannot be stuck"
+        );
+        assert!(
+            v.schedule
+                .iter()
+                .all(|s| matches!(s, ScheduleStep::Step(_))),
+            "{label}: crash-free check must produce a crash-free schedule"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The acceptance configuration: a process count whose un-reduced
+// progress graph exceeds the state budget, verified on the reduced
+// graph. (Measured: tournament n=5 builds ~455k un-reduced progress
+// states but ~284k reduced ones.)
+// ---------------------------------------------------------------------
+
+#[test]
+fn tournament_five_progress_exceeds_unreduced_budget_but_verifies_reduced() {
+    let cap = 300_000;
+    match check_mutex_progress(&Tournament::new(5, 1), 1, budget(cap)) {
+        Err(ExploreError::StateBudget(n)) => assert!(n > cap),
+        other => panic!("expected the un-reduced graph to overflow, got {other:?}"),
+    }
+    let stats = check_mutex_progress(&Tournament::new(5, 1), 1, reduced(cap)).unwrap();
+    assert!(stats.states <= cap, "{stats:?}");
+    assert!(stats.states_pruned_por > 0, "{stats:?}");
+    assert!(stats.terminals >= 1);
+}
+
+#[test]
+fn eight_walker_progress_verifies_only_reduced() {
+    // The eight-walker taf-tree progress graph is ~15^8 joint states
+    // un-reduced; under the canonical quotient it collapses to well under
+    // the same 50k budget that the baseline overflows.
+    let cap = 50_000;
+    match check_naming_progress(&TafTree::new(8).unwrap(), 0, budget(cap)) {
+        Err(ExploreError::StateBudget(n)) => assert!(n > cap),
+        other => panic!("expected the un-reduced graph to overflow, got {other:?}"),
+    }
+    let stats = check_naming_progress(&TafTree::new(8).unwrap(), 0, reduced(cap)).unwrap();
+    assert!(stats.states < 20_000, "reduction regressed: {}", stats.states);
+    assert!(stats.orbits_merged > 0);
+}
+
+// ---------------------------------------------------------------------
+// Heavy reduced-progress configurations: `--ignored`, run in CI's
+// dedicated release-profile exhaustive job (see ci.yml).
+// ---------------------------------------------------------------------
+
+#[test]
+#[ignore = "heavy reduced progress check (~4.6M states, minutes); run via cargo test --release -- --ignored"]
+fn tournament_six_progress_verifies_on_the_reduced_graph() {
+    // Six clients over an eight-leaf tree: the un-reduced progress graph
+    // (measured 5,366,136 states in the release profile) overflows a
+    // 5M-state budget that the reduced graph (4,627,055 canonical
+    // states) verifies deadlock freedom inside.
+    match check_mutex_progress(&Tournament::new(6, 1), 1, budget(5_000_000)) {
+        Err(ExploreError::StateBudget(n)) => assert!(n > 5_000_000),
+        other => panic!("expected the un-reduced graph to overflow, got {other:?}"),
+    }
+    let stats = check_mutex_progress(&Tournament::new(6, 1), 1, reduced(5_000_000)).unwrap();
+    assert!(stats.states_pruned_por > 0);
+    assert!(stats.terminals >= 1);
+}
+
+#[test]
+#[ignore = "heavy reduced progress check (~423k states); run via cargo test --release -- --ignored"]
+fn bakery_four_progress_on_the_reduced_graph() {
+    // Four bakery customers: ~423k reduced progress states. Bakery scans
+    // every ticket, so ample sets bite less than for tournaments — the
+    // point of this config is the four-customer deadlock-freedom verdict
+    // itself.
+    let stats = check_mutex_progress(&Bakery::new(4), 1, reduced(1_000_000)).unwrap();
+    assert!(stats.states > 100_000);
+    assert!(stats.terminals >= 1);
+}
+
+#[test]
+#[ignore = "heavy progress baseline (~455k states); run via cargo test --release -- --ignored"]
+fn tournament_five_progress_baseline() {
+    let stats = check_mutex_progress(&Tournament::new(5, 1), 1, budget(1_000_000)).unwrap();
+    assert!(stats.states > 400_000);
+}

@@ -21,7 +21,8 @@ use cfc::core::{
     BitOp, Layout, Op, OpResult, Process, ProcessId, RegisterId, Section, Step, Value,
 };
 use cfc::mutex::{
-    Bakery, BrokenDetector, ExitOrder, LamportFast, MutexAlgorithm, PetersonTwo, Tournament,
+    Bakery, BrokenDetector, Dijkstra, ExitOrder, LamportFast, MutexAlgorithm, PetersonTwo,
+    Tournament,
 };
 use cfc::naming::{Model, NamingAlgorithm, TafTree, TasReadSearch, TasScan, TasScanProc, TasTarTree};
 use cfc::verify::explore::ExploreConfig;
@@ -113,6 +114,7 @@ fn safe_mutex_configs_agree_across_reductions() {
     assert_mutex_agrees(&LamportFast::new(2), 1, 200_000);
     assert_mutex_agrees(&LamportFast::new(3), 1, 200_000);
     assert_mutex_agrees(&Bakery::new(2), 1, 200_000);
+    assert_mutex_agrees(&Dijkstra::new(2), 1, 200_000);
     assert_mutex_agrees(&Tournament::new(3, 1), 1, 200_000);
     assert_mutex_agrees(&Tournament::new(4, 1), 1, 200_000);
 }
