@@ -12,16 +12,22 @@
 //! variants: since `check_progress_sym` runs on the reduced graph (and
 //! its ample mode drops the invisibility condition), the speedup of the
 //! deadlock-freedom checks is measured here rather than asserted.
+//!
+//! A third table sweeps the **fair-cycle liveness checker**
+//! (`check_mutex_starvation` / `check_naming_lockout`) and emits the
+//! `liveness_sweep` CSV artifact: verdict, bypass bound, and per-victim
+//! graph sizes across the same reduction variants.
 
 use std::time::{Duration, Instant};
 
 use cfc_bounds::table::TextTable;
-use cfc_mutex::{Bakery, Tournament};
+use cfc_mutex::{Bakery, LamportFast, PetersonTwo, TasSpin, Tournament};
 use cfc_naming::{TafTree, TasScan, TasTarTree};
 use cfc_verify::explore::ExploreConfig;
 use cfc_verify::{
-    check_mutex_progress, check_mutex_safety, check_naming_progress, check_naming_uniqueness,
-    ExploreError, ExploreStats, ProgressStats,
+    check_mutex_progress, check_mutex_safety, check_mutex_starvation, check_naming_lockout,
+    check_naming_progress, check_naming_uniqueness, ExploreError, ExploreStats, LivenessReport,
+    LivenessVerdict, ProgressStats,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -187,6 +193,122 @@ fn print_progress_sweep() {
     );
 }
 
+fn run_liveness(
+    label: &str,
+    f: impl Fn(ExploreConfig) -> Result<LivenessReport, ExploreError>,
+    skip_unreduced: bool,
+    table: &mut TextTable,
+) {
+    for (variant, cfg) in variants(6_000_000, 0) {
+        if skip_unreduced && !cfg.symmetry {
+            table.row([
+                label.to_string(),
+                variant.to_string(),
+                "-".into(),
+                "-".into(),
+                "~15^8".into(),
+                "-".into(),
+                "-".into(),
+                "(skipped)".into(),
+            ]);
+            continue;
+        }
+        let t = Instant::now();
+        let report = f(cfg).expect("sweep configs fit the budget");
+        let elapsed = t.elapsed();
+        let (verdict, bypass) = match &report.verdict {
+            LivenessVerdict::StarvationFree { bypass: Some(b) } => {
+                ("starvation-free".to_string(), b.to_string())
+            }
+            LivenessVerdict::StarvationFree { bypass: None } => {
+                ("starvation-free".to_string(), "unbounded".to_string())
+            }
+            LivenessVerdict::Starvable(w) => (
+                format!("starvable (loop {})", w.lasso.cycle.len()),
+                "-".to_string(),
+            ),
+        };
+        table.row([
+            label.to_string(),
+            variant.to_string(),
+            verdict,
+            bypass,
+            report.stats.states.to_string(),
+            report.stats.victims.to_string(),
+            report.stats.graphs.to_string(),
+            format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+}
+
+fn print_liveness_sweep() {
+    println!("\n=== Fair-cycle liveness sweep ===\n");
+    let mut table = TextTable::new([
+        "config",
+        "reduction",
+        "verdict",
+        "bypass",
+        "states",
+        "victims",
+        "graphs",
+        "wall",
+    ]);
+    run_liveness(
+        "starvation peterson",
+        |cfg| check_mutex_starvation(&PetersonTwo::new(), cfg),
+        false,
+        &mut table,
+    );
+    run_liveness(
+        "starvation tas-spin n=3",
+        |cfg| check_mutex_starvation(&TasSpin::new(3), cfg),
+        false,
+        &mut table,
+    );
+    run_liveness(
+        "starvation lamport n=2",
+        |cfg| check_mutex_starvation(&LamportFast::new(2), cfg),
+        false,
+        &mut table,
+    );
+    run_liveness(
+        "starvation bakery n=2",
+        |cfg| check_mutex_starvation(&Bakery::new(2), cfg),
+        false,
+        &mut table,
+    );
+    run_liveness(
+        "starvation tournament n=4 l=1",
+        |cfg| check_mutex_starvation(&Tournament::new(4, 1), cfg),
+        false,
+        &mut table,
+    );
+    run_liveness(
+        "lockout taf-tree n=4",
+        |cfg| check_naming_lockout(&TafTree::new(4).unwrap(), 0, cfg),
+        false,
+        &mut table,
+    );
+    run_liveness(
+        "lockout taf-tree n=8",
+        |cfg| check_naming_lockout(&TafTree::new(8).unwrap(), 0, cfg),
+        true, // naive joint space ~15^8: only the symmetric variants finish
+        &mut table,
+    );
+    println!("{table}");
+    if let Ok(path) = cfc_bench::write_artifact("liveness_sweep", &table) {
+        println!("(csv artifact: {})\n", path.display());
+    }
+    println!(
+        "fair-cycle liveness on the shared engine: Peterson and the\n\
+         Peterson-node tournament verify starvation-free (the tournament\n\
+         with unbounded bypass — no wait-free doorway), Lamport's fast\n\
+         path starves with a concrete validated lasso, and the per-victim\n\
+         stabilizer quotient is what lets the eight-walker tree's lockout\n\
+         check finish at all.\n"
+    );
+}
+
 fn print_sweep() {
     println!("\n=== Explorer reduction sweep ===\n");
     let mut table = TextTable::new([
@@ -249,6 +371,7 @@ fn print_sweep() {
 fn bench_reductions(c: &mut Criterion) {
     print_sweep();
     print_progress_sweep();
+    print_liveness_sweep();
 
     let mut group = c.benchmark_group("reduction/tas_scan_n4_c2");
     for (variant, cfg) in variants(4_000_000, 2) {

@@ -44,6 +44,7 @@ fn print_table1() {
         "cf-reg lower (Thm2)",
         "cf-reg measured",
         "cf-reg upper (Thm3)",
+        "fairness (fair-cycle)",
     ]);
     for &n in &cfc_bench::TABLE_NS {
         for &l in &cfc_bench::TABLE_LS {
@@ -58,6 +59,16 @@ fn print_table1() {
                 trip.total.registers as f64 >= reg_lower,
                 "Theorem 2 violated at n={n} l={l}"
             );
+            // The fairness column: Lamport's fast path (and tournaments
+            // built from it, l >= 2) is starvable; the Peterson-node
+            // tournament (l = 1) is starvation-free. Classifications are
+            // the ones the fair-cycle checker verifies at small n
+            // (tests/liveness.rs, tests/bounds_consistency.rs).
+            let fairness = if name == "lamport-fast" || !bounds::tournament_starvation_free(l) {
+                "starvable [AT92]".to_string()
+            } else {
+                "starvation-free".to_string()
+            };
             table.row([
                 n.to_string(),
                 l.to_string(),
@@ -68,6 +79,7 @@ fn print_table1() {
                 format!("{reg_lower:.2}"),
                 trip.total.registers.to_string(),
                 bounds::thm3_register_upper(n as u64, l).to_string(),
+                fairness,
             ]);
         }
     }

@@ -177,6 +177,43 @@ pub const LAMPORT_FAST_STEPS: u64 = 7;
 /// (x, y, and the process's own b-flag).
 pub const LAMPORT_FAST_REGISTERS: u64 = 3;
 
+/// Peterson's two-process algorithm: bounded bypass 1 — after a waiter's
+/// first entry step, the `turn` handshake admits the owner at most once
+/// more. Verified mechanically by `cfc-verify`'s fair-cycle checker
+/// (`check_mutex_starvation`) and cross-checked in
+/// `tests/bounds_consistency.rs`.
+pub const PETERSON_BYPASS: u64 = 1;
+
+/// The bakery's bypass bound, `2(n − 1)`: first-come-first-served only
+/// protects waiters whose *doorway* has completed, while bypass counting
+/// starts at the waiter's first entry step — so each of the `n − 1`
+/// competitors can overtake twice, once from a gate check already in
+/// flight and once more via a doorway that overlapped the waiter's
+/// ticket scan (drawing a smaller ticket). Matches the fair-cycle
+/// checker's measurement at `n = 2` (bypass 2) and `n = 3` (bypass 4).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn bakery_bypass_upper(n: u64) -> u64 {
+    assert!(n >= 1, "need at least one process");
+    2 * (n - 1)
+}
+
+/// Whether our Theorem 3 tournament is starvation-free at atomicity `l`.
+///
+/// `l = 1` builds Peterson nodes, whose bounded bypass composes into
+/// tree-wide starvation freedom (though with **no** overall bypass bound
+/// beyond a single node: the tree has no wait-free doorway, so a waiter
+/// frozen mid-climb watches the far subtree pass unboundedly). `l ≥ 2`
+/// builds Lamport fast-mutex nodes, which are starvable [AT92] — and a
+/// tournament of starvable nodes is starvable; the fair-cycle checker
+/// exhibits the lasso at `n = 3, l = 2`.
+pub fn tournament_starvation_free(l: u32) -> bool {
+    assert!(l >= 1, "atomicity must be positive");
+    l == 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +341,16 @@ mod tests {
     #[test]
     fn kessels_bound_is_logarithmic() {
         assert_eq!(kessels_wc_register_upper(1 << 10), 30);
+    }
+
+    #[test]
+    fn fairness_row_shapes() {
+        assert_eq!(PETERSON_BYPASS, 1);
+        assert_eq!(bakery_bypass_upper(2), 2);
+        assert_eq!(bakery_bypass_upper(3), 4);
+        assert_eq!(bakery_bypass_upper(1), 0); // nobody to be bypassed by
+        assert!(tournament_starvation_free(1));
+        assert!(!tournament_starvation_free(2));
+        assert!(!tournament_starvation_free(16));
     }
 }

@@ -40,6 +40,20 @@ pub enum Status {
     Crashed,
 }
 
+impl Status {
+    /// Whether the process is still enabled — it can (and, under weak
+    /// fairness, eventually must) take another step. In this model every
+    /// running process always has an enabled step (waiting is modeled as
+    /// busy-wait reads), so *enabled* and *running* coincide; `Done` and
+    /// `Crashed` are absorbing. The fair-cycle liveness checker in
+    /// `cfc-verify` builds its weak-fairness obligation from exactly this
+    /// predicate: along an infinite run, every process that is
+    /// `runnable` from some point on must take infinitely many steps.
+    pub fn runnable(self) -> bool {
+        self == Status::Running
+    }
+}
+
 /// Summary of a finished (or stopped) run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Outcome {

@@ -99,6 +99,29 @@ impl SymmetryGroup {
             .map(|c| (1..=c.len() as u64).product::<u64>())
             .product()
     }
+
+    /// The stabilizer of process `fixed`: the subgroup whose permutations
+    /// leave `fixed` in place. Concretely, `fixed` is removed from its
+    /// class (a class of size 2 thereby dissolves); all other classes are
+    /// untouched.
+    ///
+    /// The per-victim liveness checker in `cfc-verify` quotients the
+    /// state graph by this subgroup so that the identity of the
+    /// (potentially starved) victim survives canonicalization while its
+    /// peers still merge orbits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fixed >= n`.
+    pub fn stabilizer(&self, fixed: usize) -> SymmetryGroup {
+        assert!(fixed < self.n, "process {fixed} out of range (n = {})", self.n);
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| c.iter().copied().filter(|&i| i != fixed).collect())
+            .collect();
+        SymmetryGroup::from_classes(self.n, classes)
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +147,28 @@ mod tests {
         assert_eq!(g.classes(), &[vec![1, 3]]);
         assert_eq!(g.n(), 5);
         assert_eq!(g.order(), 2);
+    }
+
+    #[test]
+    fn stabilizer_fixes_the_victim() {
+        let full = SymmetryGroup::full(4);
+        let stab = full.stabilizer(1);
+        assert_eq!(stab.classes(), &[vec![0, 2, 3]]);
+        assert_eq!(stab.n(), 4);
+        assert_eq!(stab.order(), 6);
+        // A pair dissolves entirely.
+        assert!(SymmetryGroup::full(2).stabilizer(0).is_trivial());
+        // Fixing a process outside every class changes nothing.
+        let g = SymmetryGroup::from_classes(4, vec![vec![1, 2]]);
+        assert_eq!(g.stabilizer(3).classes(), g.classes());
+        // The trivial group stays trivial.
+        assert!(SymmetryGroup::trivial(3).stabilizer(2).is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stabilizer_rejects_out_of_range() {
+        let _ = SymmetryGroup::full(2).stabilizer(2);
     }
 
     #[test]

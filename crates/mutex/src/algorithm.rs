@@ -2,8 +2,23 @@
 
 use cfc_core::{
     Layout, Memory, MemoryError, OpResult, Process, ProcessId, RegisterSet, Section, Step,
-    SymmetryGroup,
+    SymmetryGroup, Value,
 };
+
+/// A global-state abstraction used by the fair-cycle liveness checker in
+/// `cfc-verify`: a function rewriting (process states, register values)
+/// in place to a canonical representative of a *behavioral* equivalence
+/// class.
+///
+/// Contract: the rewrite must be a bisimulation that preserves sections,
+/// outputs, and statuses — two states with the same normal form must
+/// admit the same (normalized) successors under every process step. The
+/// checker applies it to every explored state, which turns algorithms
+/// with unbounded auxiliary counters (bakery tickets) into finite
+/// quotients so that cycle detection terminates. Safety and progress
+/// checking never use it.
+pub type StateNormalizer<L> =
+    Box<dyn Fn(&mut [MutexClient<L>], &mut [Value]) + Send + Sync>;
 
 /// The entry/exit state machine of one mutual-exclusion participant.
 ///
@@ -118,6 +133,25 @@ pub trait MutexAlgorithm {
     ) -> MutexClient<Self::Lock> {
         MutexClient::with_cs_steps(self.lock(pid), trips, cs_steps)
     }
+
+    /// A client that re-enters its critical section **forever** (spending
+    /// `cs_steps` internal steps inside each occupancy), never reaching
+    /// the remainder. Cycling clients are what give the global state
+    /// graph genuine infinite behaviors, so the fair-cycle liveness
+    /// checker in `cfc-verify` runs on them: starvation only shows up
+    /// against competitors that keep coming back.
+    fn client_cycling(&self, pid: ProcessId, cs_steps: u32) -> MutexClient<Self::Lock> {
+        MutexClient::cycling(self.lock(pid), cs_steps)
+    }
+
+    /// An optional [`StateNormalizer`] making the cycling-client state
+    /// graph finite for algorithms whose auxiliary state grows without
+    /// bound under sustained contention. Defaults to `None` (most locks
+    /// are finite-state already); [`crate::Bakery`] supplies a
+    /// ticket-shifting normalizer.
+    fn liveness_normalizer(&self) -> Option<StateNormalizer<Self::Lock>> {
+        None
+    }
 }
 
 /// Drives a [`LockProcess`] through `trips` remainder→entry→critical→exit
@@ -133,6 +167,13 @@ pub struct MutexClient<L> {
     trips_remaining: u32,
     cs_steps: u32,
     cs_left: u32,
+    /// Cycling mode: re-enter forever, never decrementing the trip count.
+    forever: bool,
+    /// Weak-fairness bookkeeping for cycling clients: has this client
+    /// taken at least one step of its *current* entry attempt? Only
+    /// maintained in cycling mode so that finite-trip state spaces (and
+    /// their exhaustively asserted sizes) are unchanged.
+    engaged: bool,
 }
 
 impl<L: LockProcess> MutexClient<L> {
@@ -156,14 +197,46 @@ impl<L: LockProcess> MutexClient<L> {
             trips_remaining: trips,
             cs_steps,
             cs_left: cs_steps,
+            forever: false,
+            engaged: false,
         };
         client.settle();
+        client
+    }
+
+    /// Creates a client that cycles through its sections **forever**
+    /// (see [`MutexAlgorithm::client_cycling`]).
+    pub fn cycling(lock: L, cs_steps: u32) -> Self {
+        let mut client = Self::with_cs_steps(lock, 1, cs_steps);
+        client.forever = true;
         client
     }
 
     /// The wrapped lock.
     pub fn lock(&self) -> &L {
         &self.lock
+    }
+
+    /// Mutable access to the wrapped lock — for [`StateNormalizer`]s
+    /// only, which must rewrite lock state to a behaviorally equivalent
+    /// normal form (see the type's contract).
+    pub fn lock_mut(&mut self) -> &mut L {
+        &mut self.lock
+    }
+
+    /// Whether this client cycles forever (never reaches the remainder).
+    pub fn is_cycling(&self) -> bool {
+        self.forever
+    }
+
+    /// Whether a cycling client has taken at least one step of its
+    /// current entry attempt. The liveness checker starts counting
+    /// bypasses only once the waiter is engaged: before its first entry
+    /// step the algorithm cannot possibly know the client exists, so
+    /// "overtaking" it is meaningless. Always `false` for finite-trip
+    /// clients.
+    pub fn engaged(&self) -> bool {
+        self.engaged
     }
 
     /// The number of critical-section entries still to perform (including
@@ -194,10 +267,13 @@ impl<L: LockProcess> MutexClient<L> {
                 }
                 Section::Exit => {
                     if matches!(self.lock.current(), Step::Halt) {
-                        self.trips_remaining -= 1;
+                        if !self.forever {
+                            self.trips_remaining -= 1;
+                        }
                         if self.trips_remaining > 0 {
                             self.lock.begin_entry();
                             self.section = Section::Entry;
+                            self.engaged = false;
                         } else {
                             self.section = Section::Remainder;
                         }
@@ -227,7 +303,12 @@ impl<L: LockProcess> Process for MutexClient<L> {
                 debug_assert!(self.cs_left > 0);
                 self.cs_left -= 1;
             }
-            Section::Entry | Section::Exit => self.lock.advance(result),
+            Section::Entry | Section::Exit => {
+                if self.forever && self.section == Section::Entry {
+                    self.engaged = true;
+                }
+                self.lock.advance(result)
+            }
         }
         self.settle();
     }
@@ -316,6 +397,30 @@ mod tests {
         assert_eq!(client.current(), Step::Internal);
         client.advance(OpResult::None);
         assert_eq!(client.section(), Some(Section::Exit));
+    }
+
+    #[test]
+    fn cycling_client_never_reaches_remainder() {
+        let mut client = MutexClient::cycling(toy(), 0);
+        assert!(client.is_cycling());
+        assert!(!client.engaged());
+        assert_eq!(client.section(), Some(Section::Entry));
+        for round in 0..8 {
+            // Entry step: one write, after which the client is engaged
+            // until the next attempt begins.
+            assert!(matches!(client.current(), Step::Op(_)), "round {round}");
+            client.advance(OpResult::None); // entry done -> exit (0 cs steps)
+            assert_eq!(client.section(), Some(Section::Exit));
+            assert!(client.engaged());
+            client.advance(OpResult::None); // exit done -> fresh entry
+            assert_eq!(client.section(), Some(Section::Entry));
+            assert!(!client.engaged(), "new attempt resets engagement");
+        }
+        // Finite-trip clients never report engagement.
+        let mut finite = MutexClient::new(toy(), 2);
+        finite.advance(OpResult::None);
+        assert!(!finite.engaged());
+        assert!(!finite.is_cycling());
     }
 
     #[test]

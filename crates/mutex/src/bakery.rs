@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup, Value};
 
-use crate::algorithm::{LockProcess, MutexAlgorithm};
+use crate::algorithm::{LockProcess, MutexAlgorithm, StateNormalizer};
 
 /// Ticket register width (tickets are bounded in simulation).
 pub const TICKET_WIDTH: u32 = 16;
@@ -116,6 +116,74 @@ impl MutexAlgorithm for Bakery {
     /// sound for the permutation-invariant exhaustive checks.
     fn symmetry(&self) -> SymmetryGroup {
         SymmetryGroup::full(self.n)
+    }
+
+    /// Ticket-shifting normalizer: bakery tickets grow without bound
+    /// under the sustained contention of cycling clients, so the raw
+    /// state graph is infinite. Ticket *values* are behaviorally inert,
+    /// though — every comparison the algorithm makes is on the relative
+    /// order of tickets (with `0` distinguished as "not competing") —
+    /// so states that differ by a uniform shift of all live nonzero
+    /// tickets are bisimilar. The normalizer
+    ///
+    /// 1. zeroes dead ticket scratch (`max_seen` outside the scan,
+    ///    `my_number` outside its assignment-to-last-use range), and
+    /// 2. shifts every live nonzero ticket — the `number[]` registers
+    ///    plus each lock's live `max_seen`/`my_number` — down uniformly
+    ///    so the smallest becomes `1`.
+    ///
+    /// Reachable normalized tickets are bounded by ~`2n` (at most `n`
+    /// competitors, each at most one past the previous maximum), so the
+    /// fair-cycle liveness checker terminates on the finite quotient.
+    fn liveness_normalizer(&self) -> Option<StateNormalizer<BakeryLock>> {
+        let number = Arc::clone(&self.number);
+        Some(Box::new(move |clients, values| {
+            for c in clients.iter_mut() {
+                let lock = c.lock_mut();
+                if !matches!(lock.pc, Pc::ScanMax(_)) {
+                    lock.max_seen = 0;
+                }
+                if !matches!(
+                    lock.pc,
+                    Pc::WriteNumber | Pc::WriteChoosing0 | Pc::WaitChoosing(_) | Pc::WaitNumber(_)
+                ) {
+                    lock.my_number = 0;
+                }
+            }
+            let mut min = u64::MAX;
+            for &r in number.iter() {
+                let v = values[r.index()].raw();
+                if v != 0 {
+                    min = min.min(v);
+                }
+            }
+            for c in clients.iter() {
+                for v in [c.lock().max_seen, c.lock().my_number] {
+                    if v != 0 {
+                        min = min.min(v);
+                    }
+                }
+            }
+            if min == u64::MAX || min == 1 {
+                return;
+            }
+            let delta = min - 1;
+            for &r in number.iter() {
+                let v = values[r.index()].raw();
+                if v != 0 {
+                    values[r.index()] = Value::new(v - delta);
+                }
+            }
+            for c in clients.iter_mut() {
+                let lock = c.lock_mut();
+                if lock.max_seen != 0 {
+                    lock.max_seen -= delta;
+                }
+                if lock.my_number != 0 {
+                    lock.my_number -= delta;
+                }
+            }
+        }))
     }
 }
 
@@ -300,6 +368,58 @@ mod tests {
         for &r in alg.choosing.iter() {
             assert_eq!(memory.get(r), Value::ZERO);
         }
+    }
+
+    #[test]
+    fn normalizer_equates_uniformly_shifted_ticket_states() {
+        let alg = Bakery::new(2);
+        let norm = alg.liveness_normalizer().unwrap();
+        let build = |t0: u64, t1: u64| {
+            let mut clients = vec![
+                alg.client_cycling(ProcessId::new(0), 1),
+                alg.client_cycling(ProcessId::new(1), 1),
+            ];
+            clients[0].lock_mut().pc = Pc::WaitNumber(1);
+            clients[0].lock_mut().my_number = t0;
+            clients[1].lock_mut().pc = Pc::WaitNumber(0);
+            clients[1].lock_mut().my_number = t1;
+            let mut values = alg.memory().unwrap().snapshot().to_vec();
+            values[alg.number[0].index()] = Value::new(t0);
+            values[alg.number[1].index()] = Value::new(t1);
+            (clients, values)
+        };
+        let (mut high, mut high_vals) = build(3, 4);
+        let (mut low, mut low_vals) = build(1, 2);
+        norm(&mut high, &mut high_vals);
+        norm(&mut low, &mut low_vals);
+        assert_eq!(high, low);
+        assert_eq!(high_vals, low_vals);
+        assert_eq!(high_vals[alg.number[0].index()], Value::ONE);
+    }
+
+    #[test]
+    fn normalizer_zeroes_dead_ticket_scratch() {
+        let alg = Bakery::new(2);
+        let norm = alg.liveness_normalizer().unwrap();
+        let mut clients = vec![
+            alg.client_cycling(ProcessId::new(0), 1),
+            alg.client_cycling(ProcessId::new(1), 1),
+        ];
+        // Client 0 sits at the critical-section boundary with stale
+        // ticket scratch from an old trip; it is dead state.
+        clients[0].lock_mut().pc = Pc::EntryDone;
+        clients[0].lock_mut().my_number = 7;
+        clients[0].lock_mut().max_seen = 6;
+        let mut values = alg.memory().unwrap().snapshot().to_vec();
+        norm(&mut clients, &mut values);
+        assert_eq!(clients[0].lock().my_number, 0);
+        assert_eq!(clients[0].lock().max_seen, 0);
+        // Live scratch is preserved (modulo the shift): mid-scan
+        // max_seen survives.
+        clients[1].lock_mut().pc = Pc::ScanMax(1);
+        clients[1].lock_mut().max_seen = 1;
+        norm(&mut clients, &mut values);
+        assert_eq!(clients[1].lock().max_seen, 1);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   bounded worst-case step complexity (4 steps per `2^l`-ary tree
 //!   level); [`ChunkedSplitter`] is a deliberately kept **unsafe** variant
 //!   whose torn `x`-write the `cfc-verify` explorer defeats.
+//! * [`TasSpin`] — the one-bit test-and-set spin lock: safe and
+//!   deadlock-free with zero fairness, the starvation baseline the
+//!   fair-cycle liveness checker in `cfc-verify` defeats.
 //! * [`MutexDetector`] — the Lemma 1 reduction from mutual exclusion to
 //!   contention detection.
 //! * [`BrokenDetector`] — an intentionally unsafe detector that the
@@ -53,9 +56,10 @@ mod lamport;
 pub mod measure;
 mod peterson;
 mod splitter;
+mod tas_spin;
 mod tournament;
 
-pub use algorithm::{LockProcess, MutexAlgorithm, MutexClient};
+pub use algorithm::{LockProcess, MutexAlgorithm, MutexClient, StateNormalizer};
 pub use bakery::{Bakery, BakeryLock, TICKET_WIDTH};
 pub use dijkstra::{Dijkstra, DijkstraLock};
 pub use detect::{
@@ -64,4 +68,5 @@ pub use detect::{
 pub use lamport::{LamportFast, LamportLock};
 pub use peterson::{PetersonLock, PetersonTwo};
 pub use splitter::{ChunkedSplitter, Splitter, SplitterProc, SplitterTree, SplitterTreeProc};
+pub use tas_spin::{TasSpin, TasSpinLock};
 pub use tournament::{ExitOrder, Tournament, TournamentLock};

@@ -138,4 +138,28 @@ mod tests {
             assert!(p.worst_case.registers >= p.contention_free.registers);
         }
     }
+
+    #[test]
+    fn single_process_profile_degenerates_cleanly() {
+        // n = 1: the sequential, lockstep, and random schedules coincide
+        // (there is nobody to contend with), so the "worst case" is the
+        // contention-free run: one step, one register, name 1.
+        let p = naming_profile(&TasScan::new(1), 5).unwrap();
+        assert_eq!(p.contention_free, p.worst_case);
+        // The scan walks n - 1 shared bits, so a lone process decides
+        // its name without touching shared memory at all.
+        assert_eq!(p.contention_free.steps, 0);
+        assert_eq!(p.contention_free.registers, 0);
+    }
+
+    #[test]
+    fn zero_random_seeds_still_covers_both_adversaries() {
+        // The deterministic schedules alone must already realize the
+        // Theorem 6 bound: lockstep forces n - 1 steps with no help from
+        // randomized runs.
+        let n = 8u64;
+        let p = naming_profile(&TasScan::new(n as usize), 0).unwrap();
+        assert_eq!(p.worst_case.steps, n - 1);
+        assert!(p.worst_case.steps >= p.contention_free.steps);
+    }
 }

@@ -1144,6 +1144,40 @@ mod tests {
     }
 
     #[test]
+    fn empty_schedule_replays_to_the_initial_state() {
+        let (memory, procs) = incr_system();
+        let replayed = replay(memory.clone(), procs.clone(), &[]).unwrap();
+        assert_eq!(replayed.trace.len(), 0);
+        assert_eq!(replayed.procs, procs);
+        assert_eq!(replayed.memory.snapshot(), memory.snapshot());
+        assert!(replayed.status.iter().all(|s| *s == Status::Running));
+    }
+
+    #[test]
+    fn crash_at_the_first_step_is_replayable() {
+        // A schedule may fell a process before it takes a single step;
+        // the crash must be recorded, the victim's memory untouched, and
+        // the survivor free to run to completion.
+        let (memory, procs) = incr_system();
+        let c = RegisterId::new(0);
+        let p0 = cfc_core::ProcessId::new(0);
+        let p1 = cfc_core::ProcessId::new(1);
+        let schedule = [
+            ScheduleStep::Crash(p0),
+            ScheduleStep::Step(p1),
+            ScheduleStep::Step(p1),
+            ScheduleStep::Step(p1),
+        ];
+        let replayed = replay(memory, procs, &schedule).unwrap();
+        assert_eq!(replayed.status, vec![Status::Crashed, Status::Done]);
+        assert_eq!(replayed.memory.get(c), Value::ONE);
+        assert!(matches!(
+            replayed.trace.iter().next().map(|e| &e.kind),
+            Some(cfc_core::EventKind::Crash)
+        ));
+    }
+
+    #[test]
     fn canonical_key_is_permutation_invariant() {
         let (memory, mut procs) = incr_system();
         // Drive the processes into distinct local states.

@@ -150,6 +150,23 @@ pub(crate) enum AmpleMode {
     ///   reduced run reaching a state from which the original state's
     ///   fate (stuck or not) is unchanged.
     Progress,
+    /// Fair infinite behaviors (lassos) must be preserved: the liveness
+    /// checker hunts cycles in which a pending process is overtaken
+    /// forever, observing sections, outputs, **and statuses** at every
+    /// state of the loop. Invisibility is therefore *strict* — unlike
+    /// [`AmpleMode::Safety`], a `Halt` step does not qualify (it changes
+    /// the stepping process's status, which the fairness analysis reads)
+    /// — and the cycle-closing condition C3 is kept verbatim: an ample
+    /// successor must be fresh, so every cycle of the reduced graph
+    /// contains a fully expanded state and no process's steps (in
+    /// particular, no self-looping spin of a starved victim) are pruned
+    /// from every state of a cycle. Fair lassos reported on the reduced
+    /// graph are re-derived concretely and validated step by step, so a
+    /// `Starvable` verdict never rests on the reduction; a
+    /// starvation-free verdict additionally leans on the differential
+    /// suite in `tests/liveness.rs` (see the README's "when to trust a
+    /// verdict" notes).
+    Liveness,
 }
 
 /// The successors of one node, as chosen by the engine.
@@ -383,14 +400,23 @@ impl<P: Process + Clone + Eq + Hash> Engine<P> {
             // instead of recomputing.
             let succ = expand_step(node, i, &self.template)?;
             let succ = self.scratch.succ[i].insert(succ);
-            // Condition 2: invisibility of the step — required only when
-            // per-state observations must be preserved.
-            if mode == AmpleMode::Safety
-                && !matches!(step, Step::Halt)
-                && (succ.procs[i].section() != node.procs[i].section()
-                    || succ.procs[i].output() != node.procs[i].output())
-            {
-                continue 'candidates;
+            // Condition 2: invisibility of the step — required whenever
+            // per-state observations must be preserved. Safety checks
+            // never read liveness statuses under reduction, so `Halt`
+            // steps are exempt there; the liveness analysis reads them,
+            // so under `Liveness` a `Halt` step is visible by definition.
+            let visible = |succ: &Node<P>| {
+                succ.procs[i].section() != node.procs[i].section()
+                    || succ.procs[i].output() != node.procs[i].output()
+            };
+            match mode {
+                AmpleMode::Safety if !matches!(step, Step::Halt) && visible(succ) => {
+                    continue 'candidates;
+                }
+                AmpleMode::Liveness if matches!(step, Step::Halt) || visible(succ) => {
+                    continue 'candidates;
+                }
+                _ => {}
             }
             // Condition 3: the cycle / fresh-successor proviso. The
             // canonical form computed here rides along with the winner so

@@ -11,13 +11,18 @@
 //! * [`checks`] — ready-made exhaustive checks: mutual exclusion,
 //!   detection safety, naming uniqueness + wait-freedom, and
 //!   deadlock-freedom (progress) for all three problem families.
+//! * [`liveness`] — fair-cycle liveness on the same engine: starvation
+//!   freedom under weak fairness and bounded-bypass measurement, with
+//!   replayable lasso witnesses
+//!   ([`check_mutex_starvation`], [`check_naming_lockout`]).
 //! * [`merge`] — Lemma 2's merge construction: extract solo-run profiles,
 //!   test the lemma's condition, and build the forbidden two-winner run
 //!   when an algorithm violates it.
 //! * [`adversary`] — the Theorem 6 lockstep and Theorem 7 sequential
 //!   schedules, measuring worst-case naming complexity.
 //! * [`stress`] — randomized long-run safety monitors for systems too
-//!   large to explore exhaustively.
+//!   large to explore exhaustively, for both mutual exclusion and
+//!   naming, with seed-reported violations.
 //!
 //! ```
 //! use cfc_verify::checks::check_mutex_safety;
@@ -37,6 +42,7 @@ pub mod adversary;
 pub mod checks;
 pub mod explore;
 mod graph;
+pub mod liveness;
 pub mod merge;
 pub mod stress;
 
@@ -49,8 +55,14 @@ pub use explore::{
     canonical_key, check_progress, check_progress_sym, explore, explore_sym, replay,
     ExploreConfig, ExploreError, ExploreStats, ProgressStats, Replayed, ScheduleStep, Violation,
 };
+pub use liveness::{
+    check_liveness_sym, check_mutex_starvation, check_naming_lockout, validate_lasso, Lasso,
+    LassoWitness, LivenessReport, LivenessSpec, LivenessStats, LivenessVerdict, NormalizeFn,
+};
 pub use merge::{
     assert_resists_merge, lemma2_condition, merge_attack, solo_profile, MergeError, MergeFailure,
     MergeWitness, SoloProfile,
 };
-pub use stress::{stress_mutex, MutexViolation, StressError, StressStats};
+pub use stress::{
+    stress_mutex, stress_naming, MutexViolation, NamingViolation, StressError, StressStats,
+};

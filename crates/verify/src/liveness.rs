@@ -1,0 +1,1278 @@
+//! Fair-cycle liveness checking: starvation freedom and bounded bypass
+//! on the shared state graph.
+//!
+//! The paper's algorithms promise *deadlock freedom* — somebody can
+//! always finish — which is strictly weaker than *starvation freedom* —
+//! everybody who keeps trying eventually finishes. The progress checker
+//! in [`crate::explore`] verifies the former; this module mechanizes the
+//! latter as a search for **fair lassos** in the same state graph the
+//! other checkers walk ([`crate::graph`]):
+//!
+//! * Clients cycle through their protocol forever
+//!   ([`cfc_mutex::MutexAlgorithm::client_cycling`]), so the graph's
+//!   cycles are exactly the system's infinite behaviors.
+//! * A run is **weakly fair** when every process that stays
+//!   [runnable](Status::runnable) takes infinitely many steps. On a
+//!   finite graph an infinite run is a lasso (stem + loop), and since
+//!   `Done`/`Crashed` are absorbing, statuses are constant around any
+//!   loop — so a lasso is weakly fair iff every process running in its
+//!   loop steps at least once per revolution.
+//! * A process is **starved** when some weakly fair lasso keeps it
+//!   *pending* (trying, never served: in its entry section and never in
+//!   the critical section; running and never named) around the whole
+//!   loop — despite the victim itself spinning infinitely often.
+//!
+//! The detector runs per victim: it restricts the graph to the states
+//! where the victim is pending, computes strongly connected components
+//! (iterative Tarjan), and reports any reachable SCC whose internal
+//! edges cover every running process — by strong connectivity such an
+//! SCC contains a single cycle through one covering edge per process,
+//! which is precisely a weakly fair starvation loop. The witness is
+//! rebuilt as a concrete schedule ([`Lasso`]) that [`replay`] accepts
+//! and [`validate_lasso`] re-checks step by step against the un-reduced
+//! semantics, so a [`LivenessVerdict::Starvable`] verdict never rests on
+//! the reductions below.
+//!
+//! # Reductions, per victim
+//!
+//! * **Symmetry** must not canonicalize the victim away: permuting the
+//!   starved process with its peers changes *who* is starved. The
+//!   checker therefore quotients each victim's graph by the
+//!   [stabilizer](SymmetryGroup::stabilizer) of the victim — its peers
+//!   still merge orbits, the victim's slot is pinned — and checks one
+//!   victim per symmetry class. That representative argument needs class
+//!   members to be interchangeable *from the initial state*, so declared
+//!   classes are first refined by initial-state equality: identity-free
+//!   processes (naming walkers, test-and-set spinners) keep their
+//!   classes, while identity-embedding locks fall back to per-process
+//!   victims on one shared graph. Because canonical edge labels are
+//!   slots rather than concrete identities, a fair-looking quotient SCC
+//!   is only a *candidate*: each is concretized and validated, and if
+//!   none survives the victim is settled on an exact (trivial-group)
+//!   graph.
+//! * **Partial-order reduction** runs in [`AmpleMode::Liveness`]:
+//!   independence (C1) plus *strict* invisibility (C2 with no `Halt`
+//!   exemption — the fairness analysis reads statuses) plus the
+//!   cycle-closing condition (C3, the fresh-successor proviso), so every
+//!   cycle of the reduced graph contains a fully expanded state and no
+//!   process's transitions — in particular no self-looping spin of a
+//!   starved victim — are pruned from every state of a loop.
+//! * An optional [state normalizer](cfc_mutex::StateNormalizer) folds
+//!   behaviorally inert unbounded counters (bakery tickets) into a
+//!   finite quotient; POR is disabled whenever one is active, since the
+//!   ample bookkeeping does not see through the abstraction.
+//!
+//! # Bounded bypass
+//!
+//! Alongside the binary verdict, the checker measures **bypass**: the
+//! supremum, over all weakly fair runs, of how many times *other*
+//! processes are served while the victim is pending and *engaged* (past
+//! its first entry step — before that the algorithm cannot know the
+//! victim exists). Because any finite unfair prefix extends to a weakly
+//! fair run, this equals the maximum service-edge weight over paths of
+//! the engaged-pending subgraph: infinite (`None`) iff some reachable
+//! SCC of that subgraph contains a service edge, else the longest
+//! weighted path over the SCC condensation. Peterson's `turn` handshake
+//! yields bound 1; the bakery's FCFS order bounds it by the waiters
+//! ahead at the doorway; a plain test-and-set lock is unbounded (and
+//! starvable with it).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use cfc_core::{Memory, Process, ProcessId, Section, Status, SymmetryGroup, Value};
+use cfc_mutex::{MutexAlgorithm, MutexClient};
+use cfc_naming::NamingAlgorithm;
+
+use crate::explore::{replay, ExploreConfig, ExploreError, ScheduleStep};
+use crate::graph::{expand_step, full_hash, AmpleMode, Engine, Expansion, Node};
+
+/// A borrowed state normalizer (see [`cfc_mutex::StateNormalizer`] for
+/// the owned form and the behavioral contract).
+pub type NormalizeFn<'a, P> = &'a dyn Fn(&mut [P], &mut [Value]);
+
+/// The property hooks of a liveness check: what it means for a process
+/// to be waiting, to be counted against, and to be served.
+pub struct LivenessSpec<'a, P> {
+    /// Is the process *pending* — wanting service it has not received?
+    /// (Mutex: in its entry section. Naming: not yet decided.) Evaluated
+    /// only on running processes.
+    pub pending: &'a dyn Fn(&P) -> bool,
+    /// Is the pending process *engaged* — past the point where the
+    /// algorithm can observe it (its first entry step)? Bypass counting
+    /// starts here; starvation detection uses `pending` alone.
+    pub engaged: &'a dyn Fn(&P) -> bool,
+    /// Did the stepping process receive service across this step
+    /// (`(before, after)` local states)? (Mutex: entered the critical
+    /// section. Naming: decided a name.)
+    pub served: &'a dyn Fn(&P, &P) -> bool,
+    /// Optional behavioral-quotient normalizer applied to every explored
+    /// state (see [`cfc_mutex::StateNormalizer`] for the contract).
+    /// Partial-order reduction is disabled while one is active.
+    pub normalize: Option<NormalizeFn<'a, P>>,
+}
+
+impl<P> fmt::Debug for LivenessSpec<'_, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LivenessSpec")
+            .field("normalize", &self.normalize.is_some())
+            .finish()
+    }
+}
+
+/// A replayable infinite run: after the `stem`, repeating `cycle`
+/// forever is a weakly fair schedule of the system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lasso {
+    /// The finite prefix from the initial state to the loop entry.
+    pub stem: Vec<ScheduleStep>,
+    /// The loop body; never empty, never contains a crash.
+    pub cycle: Vec<ScheduleStep>,
+}
+
+impl Lasso {
+    /// The stem followed by one revolution of the loop — the schedule
+    /// shape [`replay`] accepts.
+    pub fn unrolled(&self) -> Vec<ScheduleStep> {
+        let mut all = self.stem.clone();
+        all.extend(self.cycle.iter().copied());
+        all
+    }
+}
+
+/// A starvation witness: a concrete weakly fair lasso around which
+/// `victim` stays pending.
+#[derive(Clone, Debug)]
+pub struct LassoWitness {
+    /// The starved process.
+    pub victim: ProcessId,
+    /// The lasso schedule; [`validate_lasso`] re-checks it concretely.
+    pub lasso: Lasso,
+    /// What the lasso demonstrates.
+    pub message: String,
+}
+
+impl fmt::Display for LassoWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (stem {} steps, loop {} steps)",
+            self.message,
+            self.lasso.stem.len(),
+            self.lasso.cycle.len()
+        )
+    }
+}
+
+/// The outcome of a liveness check.
+#[derive(Clone, Debug)]
+pub enum LivenessVerdict {
+    /// No weakly fair lasso starves any process. `bypass` is the
+    /// bounded-bypass measurement: `Some(b)` when no pending-and-engaged
+    /// waiter can be overtaken more than `b` times, `None` when unfair
+    /// (but fair-terminating) overtaking is unbounded.
+    StarvationFree {
+        /// Max overtakes of an engaged waiter; `None` = unbounded.
+        bypass: Option<u64>,
+    },
+    /// Some process is starved by a weakly fair schedule; the witness
+    /// lasso replays concretely.
+    Starvable(Box<LassoWitness>),
+}
+
+/// Statistics of a completed liveness check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LivenessStats {
+    /// Distinct (canonical) states, summed over all per-victim graphs.
+    pub states: usize,
+    /// Transitions, summed over all per-victim graphs.
+    pub transitions: u64,
+    /// Victims analyzed (one representative per symmetry class when
+    /// symmetry reduction is on; every process otherwise).
+    pub victims: usize,
+    /// State graphs built (victims sharing a quotient share a graph).
+    pub graphs: usize,
+    /// Transitions not expanded thanks to the liveness-safe ample sets.
+    pub states_pruned_por: u64,
+    /// Successors folded into a distinct member of their orbit.
+    pub orbits_merged: u64,
+}
+
+/// The result of a liveness check: the verdict plus search statistics.
+#[derive(Clone, Debug)]
+pub struct LivenessReport {
+    /// Starvation-free (with bypass bound) or starvable (with witness).
+    pub verdict: LivenessVerdict,
+    /// Search statistics.
+    pub stats: LivenessStats,
+}
+
+impl LivenessReport {
+    /// Whether the check found no fair starvation lasso.
+    pub fn is_starvation_free(&self) -> bool {
+        matches!(self.verdict, LivenessVerdict::StarvationFree { .. })
+    }
+
+    /// The starvation witness, if the verdict is starvable.
+    pub fn witness(&self) -> Option<&LassoWitness> {
+        match &self.verdict {
+            LivenessVerdict::Starvable(w) => Some(w),
+            LivenessVerdict::StarvationFree { .. } => None,
+        }
+    }
+
+    /// The bypass bound of a starvation-free verdict (`None` if the
+    /// verdict is starvable; `Some(None)` means bypass is unbounded).
+    pub fn bypass(&self) -> Option<Option<u64>> {
+        match &self.verdict {
+            LivenessVerdict::StarvationFree { bypass } => Some(*bypass),
+            LivenessVerdict::Starvable(_) => None,
+        }
+    }
+}
+
+/// One forward edge of a liveness graph.
+#[derive(Clone, Copy, Debug)]
+struct LEdge {
+    to: u32,
+    pid: u32,
+    crash: bool,
+    served: bool,
+}
+
+/// A per-victim-quotient liveness graph: canonical nodes, labeled
+/// forward edges, and the creator tree used to reconstruct stems.
+struct LGraph<P> {
+    nodes: Vec<Node<P>>,
+    edges: Vec<Vec<LEdge>>,
+    first_pred: Vec<u32>,
+}
+
+/// Exhaustively checks the liveness property described by `spec` over
+/// every interleaving (and crash pattern) of the processes: no weakly
+/// fair lasso may keep any process pending forever, and the bypass of
+/// engaged waiters is measured.
+///
+/// See the module docs for the victim-per-class strategy under symmetry
+/// reduction and the liveness-safe ample mode under partial-order
+/// reduction; with both flags off this is an exact check of the full
+/// graph. `config.max_states` bounds **each** per-victim graph.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::StateBudget`] when a graph outgrows the
+/// budget, or a memory error. A starvation finding is **not** an error —
+/// it is reported in the verdict, with its witness validated against the
+/// un-reduced step semantics before being returned.
+///
+/// # Panics
+///
+/// Panics if `symmetry` is defined over a different process count, or on
+/// an internal inconsistency (a discovered lasso that fails concrete
+/// validation — which the engine's invariants rule out).
+pub fn check_liveness_sym<P>(
+    memory: Memory,
+    procs: Vec<P>,
+    symmetry: &SymmetryGroup,
+    config: ExploreConfig,
+    spec: &LivenessSpec<'_, P>,
+) -> Result<LivenessReport, ExploreError>
+where
+    P: Process + Clone + Eq + Hash,
+{
+    let n = procs.len();
+    // "Starvation of any class member ⇔ starvation of the class
+    // representative" holds only when the members are interchangeable
+    // *from the initial state* — permuting them must map the root to
+    // itself. Locks that embed an identity (Peterson's side, the
+    // bakery's index, tournament paths) start in distinct local states,
+    // so their declared classes are refined by initial-state equality
+    // before victims are chosen; refining a symmetry group is always
+    // sound (it only forfeits merges).
+    let refined = SymmetryGroup::from_classes(
+        n,
+        symmetry
+            .classes()
+            .iter()
+            .flat_map(|class| {
+                let mut parts: Vec<Vec<usize>> = Vec::new();
+                for &i in class {
+                    match parts.iter_mut().find(|p| procs[p[0]] == procs[i]) {
+                        Some(p) => p.push(i),
+                        None => parts.push(vec![i]),
+                    }
+                }
+                parts
+            })
+            .collect(),
+    );
+    let use_sym = config.symmetry && !refined.is_trivial();
+
+    // Victim sets, each with the quotient that pins its victims: one
+    // representative per refined class (peers merge under the class
+    // stabilizer), every unclassed process under the unchanged group.
+    let victim_sets: Vec<(SymmetryGroup, Vec<usize>)> = if use_sym {
+        let mut in_class = vec![false; n];
+        let mut sets = Vec::new();
+        for class in refined.classes() {
+            for &i in class {
+                in_class[i] = true;
+            }
+            sets.push((refined.stabilizer(class[0]), vec![class[0]]));
+        }
+        let singles: Vec<usize> = (0..n).filter(|&i| !in_class[i]).collect();
+        if !singles.is_empty() {
+            sets.push((refined.clone(), singles));
+        }
+        sets
+    } else {
+        vec![(SymmetryGroup::trivial(n), (0..n).collect())]
+    };
+
+    let mut stats = LivenessStats::default();
+    let mut bypass: Option<u64> = Some(0);
+    // The exact trivial-group graph used to settle quotient artifacts is
+    // victim-independent, so it is built at most once per check.
+    let mut exact_cache: Option<(Engine<P>, LGraph<P>)> = None;
+    for (group, victims) in victim_sets {
+        // The ample bookkeeping cannot see through a normalizer's
+        // abstraction, so POR is off while one is active.
+        let mut graph_config = config;
+        if spec.normalize.is_some() {
+            graph_config.por = false;
+        }
+        let sym_quotient = graph_config.symmetry && !group.is_trivial();
+        let mut engine = Engine::new(memory.clone(), group.clone(), graph_config, n);
+        let graph = build_graph(&mut engine, procs.clone(), graph_config, spec, &mut stats)?;
+        stats.graphs += 1;
+        for v in victims {
+            stats.victims += 1;
+            let candidates = find_fair_starvation(&graph, v, spec);
+            let mut confirmed = None;
+            for scc in &candidates {
+                let Some(witness) =
+                    extract_witness(&engine, &graph, scc, v, spec, procs.clone(), group.order())
+                else {
+                    continue;
+                };
+                if validate_lasso(&memory, &procs, &witness, spec).is_ok() {
+                    confirmed = Some(witness);
+                    break;
+                }
+                debug_assert!(sym_quotient, "exact candidates must validate");
+            }
+            if let Some(witness) = confirmed {
+                return Ok(LivenessReport {
+                    verdict: LivenessVerdict::Starvable(Box::new(witness)),
+                    stats,
+                });
+            }
+            if !candidates.is_empty() && sym_quotient {
+                // Every candidate was a quotient artifact (slot-labeled
+                // fairness that no concrete loop realizes). Settle this
+                // victim exactly, on the graph of the trivial group,
+                // where labels are concrete and the fairness test is
+                // precise.
+                if exact_cache.is_none() {
+                    let exact_config = ExploreConfig {
+                        symmetry: false,
+                        ..graph_config
+                    };
+                    let trivial = SymmetryGroup::trivial(n);
+                    let mut exact_engine = Engine::new(memory.clone(), trivial, exact_config, n);
+                    let exact = build_graph(
+                        &mut exact_engine,
+                        procs.clone(),
+                        exact_config,
+                        spec,
+                        &mut stats,
+                    )?;
+                    stats.graphs += 1;
+                    exact_cache = Some((exact_engine, exact));
+                }
+                let (exact_engine, exact) = exact_cache.as_ref().expect("just built");
+                if let Some(scc) = find_fair_starvation(exact, v, spec).first() {
+                    let witness =
+                        extract_witness(exact_engine, exact, scc, v, spec, procs.clone(), 1)
+                            .expect("exact fair SCCs concretize");
+                    validate_lasso(&memory, &procs, &witness, spec)
+                        .expect("exact lassos validate against the un-reduced semantics");
+                    return Ok(LivenessReport {
+                        verdict: LivenessVerdict::Starvable(Box::new(witness)),
+                        stats,
+                    });
+                }
+                bypass = match (bypass, bypass_bound(exact, v, spec)) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+                continue;
+            }
+            bypass = match (bypass, bypass_bound(&graph, v, spec)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+        }
+    }
+    Ok(LivenessReport {
+        verdict: LivenessVerdict::StarvationFree { bypass },
+        stats,
+    })
+}
+
+/// Builds the labeled state graph over the engine's quotient.
+fn build_graph<P>(
+    engine: &mut Engine<P>,
+    procs: Vec<P>,
+    config: ExploreConfig,
+    spec: &LivenessSpec<'_, P>,
+    stats: &mut LivenessStats,
+) -> Result<LGraph<P>, ExploreError>
+where
+    P: Process + Clone + Eq + Hash,
+{
+    let n = procs.len();
+    let normalize = |node: &mut Node<P>| {
+        if let Some(f) = spec.normalize {
+            f(&mut node.procs, &mut node.values);
+        }
+    };
+
+    let mut root = engine.root(procs);
+    normalize(&mut root);
+    let root_canon = engine.canonical_of(&root);
+
+    let mut g = LGraph {
+        nodes: vec![root_canon],
+        edges: vec![Vec::new()],
+        first_pred: vec![u32::MAX],
+    };
+    let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+    buckets.entry(full_hash(&g.nodes[0])).or_default().push(0);
+
+    let mut cursor = 0usize;
+    while cursor < g.nodes.len() {
+        if g.nodes.len() > config.max_states {
+            return Err(ExploreError::StateBudget(g.nodes.len()));
+        }
+        let runnable: Vec<usize> = (0..n)
+            .filter(|&i| g.nodes[cursor].status[i].runnable())
+            .collect();
+        if runnable.is_empty() {
+            cursor += 1;
+            continue;
+        }
+        let expansion = engine.expand(&g.nodes[cursor], &runnable, AmpleMode::Liveness, |key| {
+            buckets
+                .get(&full_hash(key))
+                .is_some_and(|b| b.iter().any(|&id| g.nodes[id as usize] == *key))
+        })?;
+        let succs = match expansion {
+            Expansion::Ample { pid, succ, canon } => {
+                stats.states_pruned_por += runnable.len() as u64 - 1;
+                vec![(ScheduleStep::Step(pid), succ, canon)]
+            }
+            Expansion::Full(list) => list
+                .into_iter()
+                .map(|(step, succ)| (step, succ, None))
+                .collect(),
+        };
+        for (step, mut succ, canon) in succs {
+            stats.transitions += 1;
+            normalize(&mut succ);
+            let (pid, crash) = match step {
+                ScheduleStep::Step(p) => (p.index() as u32, false),
+                ScheduleStep::Crash(p) => (p.index() as u32, true),
+            };
+            let served = !crash
+                && (spec.served)(
+                    &g.nodes[cursor].procs[pid as usize],
+                    &succ.procs[pid as usize],
+                );
+            // The ample path precomputed the canonical form only when no
+            // normalizer rewrote the successor afterwards (POR is off
+            // with one active), so a cached form is always still valid.
+            let (canon, permuted) = match canon {
+                Some(canon) => {
+                    let permuted = canon != succ;
+                    (canon, permuted)
+                }
+                None if engine.use_sym() => {
+                    let canon = engine.canonical_of(&succ);
+                    let permuted = canon != succ;
+                    (canon, permuted)
+                }
+                None => (succ, false),
+            };
+            let bucket = buckets.entry(full_hash(&canon)).or_default();
+            let to = match bucket
+                .iter()
+                .copied()
+                .find(|&id| g.nodes[id as usize] == canon)
+            {
+                Some(id) => {
+                    if permuted {
+                        stats.orbits_merged += 1;
+                    }
+                    id
+                }
+                None => {
+                    let id = g.nodes.len() as u32;
+                    bucket.push(id);
+                    g.nodes.push(canon);
+                    g.edges.push(Vec::new());
+                    g.first_pred.push(cursor as u32);
+                    id
+                }
+            };
+            g.edges[cursor].push(LEdge {
+                to,
+                pid,
+                crash,
+                served,
+            });
+        }
+        cursor += 1;
+    }
+    stats.states += g.nodes.len();
+    Ok(g)
+}
+
+/// Strongly connected components of the subgraph induced by `active`
+/// nodes, via iterative Tarjan. Emitted in reverse topological order of
+/// the condensation (every SCC before each of its predecessors).
+fn tarjan_sccs(edges: &[Vec<LEdge>], active: &[bool]) -> Vec<Vec<u32>> {
+    const UNSEEN: u32 = u32::MAX;
+    let n = active.len();
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut sccs: Vec<Vec<u32>> = Vec::new();
+    let mut next = 0u32;
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if !active[start] || index[start] != UNSEEN {
+            continue;
+        }
+        call.push((start, 0));
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0;
+            if index[v] == UNSEEN {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v as u32);
+                on_stack[v] = true;
+            }
+            let mut descend = None;
+            while frame.1 < edges[v].len() {
+                let w = edges[v][frame.1].to as usize;
+                frame.1 += 1;
+                if !active[w] {
+                    continue;
+                }
+                if index[w] == UNSEEN {
+                    descend = Some(w);
+                    break;
+                }
+                if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+            if let Some(w) = descend {
+                call.push((w, 0));
+                continue;
+            }
+            call.pop();
+            if let Some(&(p, _)) = call.last() {
+                low[p] = low[p].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut scc = Vec::new();
+                loop {
+                    let w = stack.pop().expect("Tarjan stack holds the SCC");
+                    on_stack[w as usize] = false;
+                    scc.push(w);
+                    if w as usize == v {
+                        break;
+                    }
+                }
+                sccs.push(scc);
+            }
+        }
+    }
+    sccs
+}
+
+/// Marks the nodes where `victim` is running and pending.
+fn pending_mask<P: Process>(g: &LGraph<P>, victim: usize, spec: &LivenessSpec<'_, P>) -> Vec<bool> {
+    g.nodes
+        .iter()
+        .map(|node| node.status[victim].runnable() && (spec.pending)(&node.procs[victim]))
+        .collect()
+}
+
+/// Finds the weakly fair SCCs that starve `victim`: nontrivial SCCs of
+/// the victim-pending subgraph whose internal step edges cover every
+/// running process.
+///
+/// Under a symmetry quotient the edge labels are canonical *slots*, not
+/// concrete process identities — one concrete process's steps can show
+/// up under several slots as its peers permute around it — so coverage
+/// here is a candidate test, not a proof: every returned SCC must be
+/// confirmed by concretizing a lasso and [`validate_lasso`]-ing it (the
+/// caller falls back to an exact graph when no candidate survives).
+/// Without symmetry the labels are concrete and the test is exact.
+fn find_fair_starvation<P>(
+    g: &LGraph<P>,
+    victim: usize,
+    spec: &LivenessSpec<'_, P>,
+) -> Vec<Vec<u32>>
+where
+    P: Process,
+{
+    let mut fair = Vec::new();
+    let active = pending_mask(g, victim, spec);
+    let mut member = vec![false; g.nodes.len()];
+    'sccs: for scc in tarjan_sccs(&g.edges, &active) {
+        for &v in &scc {
+            member[v as usize] = true;
+        }
+        let internal = |e: &LEdge| member[e.to as usize];
+        // Statuses are constant across an SCC (Done/Crashed absorb, and
+        // a crash edge cannot be internal: the crash budget decreases),
+        // so the fairness obligation can be read off any member.
+        let running: Vec<u32> = (0..g.nodes[scc[0] as usize].status.len() as u32)
+            .filter(|&q| g.nodes[scc[0] as usize].status[q as usize].runnable())
+            .collect();
+        let mut covered = vec![false; g.nodes[scc[0] as usize].status.len()];
+        let mut nontrivial = scc.len() > 1;
+        for &v in &scc {
+            for e in &g.edges[v as usize] {
+                if internal(e) {
+                    debug_assert!(!e.crash, "crash edges cannot close cycles");
+                    covered[e.pid as usize] = true;
+                    nontrivial = true;
+                }
+            }
+        }
+        for &v in &scc {
+            member[v as usize] = false;
+        }
+        if !nontrivial {
+            continue;
+        }
+        for &q in &running {
+            if !covered[q as usize] {
+                continue 'sccs; // some running process is denied steps: unfair
+            }
+        }
+        fair.push(scc);
+    }
+    fair
+}
+
+/// Measures the bypass bound of `victim` on the engaged-pending
+/// subgraph: `None` (unbounded) iff some SCC of that subgraph contains a
+/// service-by-other edge, else the longest service-weighted path over
+/// the SCC condensation.
+fn bypass_bound<P>(g: &LGraph<P>, victim: usize, spec: &LivenessSpec<'_, P>) -> Option<u64>
+where
+    P: Process,
+{
+    let active: Vec<bool> = g
+        .nodes
+        .iter()
+        .map(|node| {
+            node.status[victim].runnable()
+                && (spec.pending)(&node.procs[victim])
+                && (spec.engaged)(&node.procs[victim])
+        })
+        .collect();
+    let weight = |e: &LEdge| u64::from(e.served && !e.crash && e.pid as usize != victim);
+
+    let sccs = tarjan_sccs(&g.edges, &active);
+    let mut scc_id = vec![u32::MAX; g.nodes.len()];
+    for (k, scc) in sccs.iter().enumerate() {
+        for &v in scc {
+            scc_id[v as usize] = k as u32;
+        }
+    }
+    // Tarjan emits successors first, so one pass in emission order sees
+    // every successor component's best value before its predecessors.
+    let mut best = vec![0u64; sccs.len()];
+    let mut answer = 0u64;
+    for (k, scc) in sccs.iter().enumerate() {
+        let mut b = 0u64;
+        for &v in scc {
+            for e in &g.edges[v as usize] {
+                if !active[e.to as usize] {
+                    continue;
+                }
+                let m = scc_id[e.to as usize] as usize;
+                if m == k {
+                    if weight(e) > 0 {
+                        return None; // pumpable overtaking cycle
+                    }
+                } else {
+                    b = b.max(weight(e) + best[m]);
+                }
+            }
+        }
+        best[k] = b;
+        answer = answer.max(b);
+    }
+    Some(answer)
+}
+
+/// Rebuilds a concrete, replayable lasso from a fair-candidate SCC of
+/// the canonical quotient, or `None` when the candidate is a quotient
+/// artifact (slot-labeled coverage that no concrete fair loop realizes).
+///
+/// The representative-level loop (one covering edge per running process,
+/// connected by intra-SCC paths) is first threaded through the quotient,
+/// then *unrolled* concretely: one revolution returns to the loop
+/// entry's orbit but possibly to a permuted sibling, so revolutions are
+/// repeated until a concrete lap-boundary state recurs — bounded by the
+/// group order, since boundaries stay within one finite orbit. A
+/// process whose hops were absorbed by an identical-state sibling is
+/// repaired with an explicit self-loop spin; candidates that cannot be
+/// repaired are rejected. Survivors are still re-checked by
+/// [`validate_lasso`] before being reported.
+fn extract_witness<P>(
+    engine: &Engine<P>,
+    g: &LGraph<P>,
+    scc: &[u32],
+    victim: usize,
+    spec: &LivenessSpec<'_, P>,
+    procs: Vec<P>,
+    group_order: u64,
+) -> Option<LassoWitness>
+where
+    P: Process + Clone + Eq + Hash,
+{
+    let mut member = vec![false; g.nodes.len()];
+    for &v in scc {
+        member[v as usize] = true;
+    }
+    let running: Vec<u32> = (0..g.nodes[scc[0] as usize].status.len() as u32)
+        .filter(|&q| g.nodes[scc[0] as usize].status[q as usize].runnable())
+        .collect();
+
+    // Representative-level loop: visit one covering edge per running
+    // process, linked by BFS paths inside the SCC, and close back.
+    let c0 = scc[0];
+    let mut hops: Vec<(u32, u32)> = Vec::new(); // (target node, pid hint)
+    let mut cur = c0;
+    for &q in &running {
+        let (from, edge) = scc
+            .iter()
+            .flat_map(|&v| g.edges[v as usize].iter().map(move |e| (v, e)))
+            .find(|(_, e)| member[e.to as usize] && !e.crash && e.pid == q)
+            .expect("fair SCC covers every running process");
+        hops.extend(path_in_scc(g, &member, cur, from));
+        hops.push((edge.to, edge.pid));
+        cur = edge.to;
+    }
+    hops.extend(path_in_scc(g, &member, cur, c0));
+    assert!(!hops.is_empty(), "fair SCC yields a nonempty loop");
+
+    // Stem at the representative level, via the creator tree.
+    let mut stem_ids = vec![c0];
+    while *stem_ids.last().expect("nonempty") != 0 {
+        let id = *stem_ids.last().expect("nonempty");
+        stem_ids.push(g.first_pred[id as usize]);
+    }
+    stem_ids.reverse();
+
+    // Concrete stem.
+    let normalize = |node: &mut Node<P>| {
+        if let Some(f) = spec.normalize {
+            f(&mut node.procs, &mut node.values);
+        }
+    };
+    let mut cur_node = engine.root(procs);
+    normalize(&mut cur_node);
+    let mut stem = Vec::new();
+    for &id in &stem_ids[1..] {
+        let (step, next) = derive_step(engine, &cur_node, &g.nodes[id as usize], None, spec);
+        stem.push(step);
+        cur_node = next;
+    }
+
+    // Concrete laps, unrolled until a boundary state recurs.
+    let mut boundaries = vec![cur_node.clone()];
+    let mut laps: Vec<Vec<ScheduleStep>> = Vec::new();
+    let prefix_laps = loop {
+        let mut lap = Vec::with_capacity(hops.len());
+        for &(target, hint) in &hops {
+            let (step, next) = derive_step(
+                engine,
+                &cur_node,
+                &g.nodes[target as usize],
+                Some(hint as usize),
+                spec,
+            );
+            lap.push(step);
+            cur_node = next;
+        }
+        laps.push(lap);
+        if let Some(j) = boundaries.iter().position(|b| *b == cur_node) {
+            break j;
+        }
+        if laps.len() as u64 > group_order {
+            debug_assert!(false, "lap boundaries must recur within the orbit");
+            return None;
+        }
+        boundaries.push(cur_node.clone());
+    };
+
+    // Laps before the recurrence extend the stem; the recurring laps are
+    // the genuine loop.
+    let mut cycle = Vec::new();
+    for lap in laps.drain(prefix_laps..) {
+        cycle.extend(lap);
+    }
+    for lap in laps {
+        stem.extend(lap);
+    }
+
+    // Fairness repair. Canonical matching cannot tell interchangeable
+    // processes in identical local states apart, so one spinner can
+    // absorb a sibling's hop during re-derivation and leave the sibling
+    // unstepped. Any such absorbed step was state-preserving, so the
+    // sibling's own step is a self-loop at some state of the loop:
+    // insert it explicitly there — closure, pendingness, and everyone
+    // else's steps are untouched.
+    let loop_entry = boundaries[prefix_laps].clone();
+    let mut states = vec![loop_entry];
+    let mut stepped = vec![false; states[0].status.len()];
+    for s in &cycle {
+        let ScheduleStep::Step(pid) = s else {
+            unreachable!("loops contain no crash edges")
+        };
+        stepped[pid.index()] = true;
+        let mut next =
+            expand_step(states.last().expect("nonempty"), pid.index(), engine.template())
+                .expect("witness steps replay the explored semantics");
+        normalize(&mut next);
+        states.push(next);
+    }
+    let mut repairs: Vec<(usize, ScheduleStep)> = Vec::new();
+    for q in running.iter().map(|&q| q as usize) {
+        if stepped[q] {
+            continue;
+        }
+        // No in-place spin to insert: the candidate has no concrete
+        // weakly fair realization through this loop.
+        let repair = states.iter().enumerate().find_map(|(k, s)| {
+            let mut succ = expand_step(s, q, engine.template()).ok()?;
+            normalize(&mut succ);
+            (succ == *s).then_some((k, ScheduleStep::Step(ProcessId::new(q as u32))))
+        })?;
+        repairs.push(repair);
+    }
+    // Positions were computed against the pristine loop, so apply the
+    // insertions back to front to keep them aligned.
+    repairs.sort_by_key(|&(at, _)| std::cmp::Reverse(at));
+    for (at, spin) in repairs {
+        cycle.insert(at, spin);
+    }
+
+    Some(LassoWitness {
+        victim: ProcessId::new(victim as u32),
+        message: format!(
+            "weak fairness does not save process {victim}: it stays pending around a \
+             {}-step loop in which every running process keeps stepping",
+            cycle.len()
+        ),
+        lasso: Lasso { stem, cycle },
+    })
+}
+
+/// BFS path between two nodes inside an SCC, as (target, pid hint) hops.
+fn path_in_scc<P>(g: &LGraph<P>, member: &[bool], from: u32, to: u32) -> Vec<(u32, u32)> {
+    if from == to {
+        return Vec::new();
+    }
+    let mut prev: HashMap<u32, (u32, u32)> = HashMap::new(); // node -> (pred, pid)
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(v) = queue.pop_front() {
+        for e in &g.edges[v as usize] {
+            if !member[e.to as usize] || e.to == from || prev.contains_key(&e.to) {
+                continue;
+            }
+            prev.insert(e.to, (v, e.pid));
+            if e.to == to {
+                let mut hops = Vec::new();
+                let mut cur = to;
+                while cur != from {
+                    let (p, pid) = prev[&cur];
+                    hops.push((cur, pid));
+                    cur = p;
+                }
+                hops.reverse();
+                return hops;
+            }
+            queue.push_back(e.to);
+        }
+    }
+    unreachable!("SCC members are mutually reachable")
+}
+
+/// Finds a concrete step (or crash) from `cur` whose normalized
+/// successor falls into the orbit of `target`, preferring the hinted
+/// process.
+fn derive_step<P>(
+    engine: &Engine<P>,
+    cur: &Node<P>,
+    target: &Node<P>,
+    hint: Option<usize>,
+    spec: &LivenessSpec<'_, P>,
+) -> (ScheduleStep, Node<P>)
+where
+    P: Process + Clone + Eq + Hash,
+{
+    let n = cur.status.len();
+    let order: Vec<usize> = hint
+        .into_iter()
+        .chain((0..n).filter(|&i| Some(i) != hint))
+        .filter(|&i| cur.status[i].runnable())
+        .collect();
+    for i in order {
+        let mut succ = expand_step(cur, i, engine.template())
+            .expect("witness steps replay the explored semantics");
+        if let Some(f) = spec.normalize {
+            f(&mut succ.procs, &mut succ.values);
+        }
+        if engine.matches_canonical(&succ, target) {
+            return (ScheduleStep::Step(ProcessId::new(i as u32)), succ);
+        }
+        if cur.crashes_left > 0 {
+            let mut crashed = cur.clone();
+            crashed.status[i] = Status::Crashed;
+            crashed.crashes_left -= 1;
+            if let Some(f) = spec.normalize {
+                f(&mut crashed.procs, &mut crashed.values);
+            }
+            if engine.matches_canonical(&crashed, target) {
+                return (ScheduleStep::Crash(ProcessId::new(i as u32)), crashed);
+            }
+        }
+    }
+    unreachable!("every edge of the canonical quotient has a concrete witness")
+}
+
+/// Validates a starvation witness against the plain, un-reduced step
+/// semantics: the stem must [`replay`] cleanly; the loop must return to
+/// its entry state (modulo the spec's normalizer); the victim must be
+/// running and pending at every state of the loop; and every process
+/// running in the loop must take at least one step per revolution (weak
+/// fairness). This is exactly the meaning of "`victim` is starved by a
+/// weakly fair schedule", checked with no reduction in the loop.
+///
+/// # Errors
+///
+/// Returns a description of the first property the lasso fails.
+pub fn validate_lasso<P>(
+    memory: &Memory,
+    procs: &[P],
+    witness: &LassoWitness,
+    spec: &LivenessSpec<'_, P>,
+) -> Result<(), String>
+where
+    P: Process + Clone + Eq + Hash,
+{
+    use cfc_core::{OpResult, Step};
+
+    if witness.lasso.cycle.is_empty() {
+        return Err("empty loop".into());
+    }
+    let start = replay(memory.clone(), procs.to_vec(), &witness.lasso.stem)
+        .map_err(|e| format!("stem does not replay: {e}"))?;
+    let v = witness.victim.index();
+
+    let mut cur_procs = start.procs.clone();
+    let mut mem = start.memory.clone();
+    let mut status = start.status.clone();
+    let mut stepped = vec![false; cur_procs.len()];
+    for (k, s) in witness.lasso.cycle.iter().enumerate() {
+        if !status[v].runnable() || !(spec.pending)(&cur_procs[v]) {
+            return Err(format!("victim not pending at loop step {k}"));
+        }
+        let ScheduleStep::Step(pid) = s else {
+            return Err(format!("crash inside the loop at step {k}"));
+        };
+        let i = pid.index();
+        if !status[i].runnable() {
+            return Err(format!("loop steps non-running process {pid} at step {k}"));
+        }
+        match cur_procs[i].current() {
+            Step::Halt => status[i] = Status::Done,
+            Step::Internal => cur_procs[i].advance(OpResult::None),
+            Step::Op(op) => {
+                let result = mem
+                    .apply(&op)
+                    .map_err(|e| format!("loop step {k} fails to apply: {e}"))?;
+                cur_procs[i].advance(result);
+            }
+        }
+        stepped[i] = true;
+    }
+    if !status[v].runnable() || !(spec.pending)(&cur_procs[v]) {
+        return Err("victim not pending at loop close".into());
+    }
+    for (q, st) in start.status.iter().enumerate() {
+        if st.runnable() && !stepped[q] {
+            return Err(format!("loop is not weakly fair: process {q} never steps"));
+        }
+    }
+    if status != start.status {
+        return Err("loop changes liveness statuses".into());
+    }
+
+    // Closure modulo the normalizer: the loop must return to a state the
+    // checked semantics cannot distinguish from its entry.
+    let mut a_procs = start.procs.clone();
+    let mut a_values = start.memory.snapshot().to_vec();
+    let mut b_procs = cur_procs;
+    let mut b_values = mem.snapshot().to_vec();
+    if let Some(f) = spec.normalize {
+        f(&mut a_procs, &mut a_values);
+        f(&mut b_procs, &mut b_values);
+    }
+    if a_procs != b_procs || a_values != b_values {
+        return Err("loop does not return to its entry state".into());
+    }
+    Ok(())
+}
+
+/// The [`LivenessSpec`] of mutual exclusion over cycling clients.
+fn mutex_spec<'a, L>(
+    normalize: Option<NormalizeFn<'a, MutexClient<L>>>,
+) -> LivenessSpec<'a, MutexClient<L>>
+where
+    L: cfc_mutex::LockProcess + 'static,
+{
+    LivenessSpec {
+        pending: &|c: &MutexClient<L>| c.section() == Some(Section::Entry),
+        engaged: &|c: &MutexClient<L>| c.engaged(),
+        served: &|before: &MutexClient<L>, after: &MutexClient<L>| {
+            before.section() != Some(Section::Critical)
+                && after.section() == Some(Section::Critical)
+        },
+        normalize,
+    }
+}
+
+/// Exhaustively checks a mutual-exclusion algorithm for **starvation
+/// freedom under weak fairness**, and measures its **bypass bound**.
+///
+/// The system is the algorithm's full set of clients cycling through
+/// entry → critical section (one observable step) → exit **forever**:
+/// its fair infinite behaviors are exactly the fair cycles of the finite
+/// state graph, which [`check_liveness_sym`] hunts per victim (one per
+/// symmetry class under `config.symmetry`, with the victim pinned by the
+/// class stabilizer). Algorithms with unbounded auxiliary state supply a
+/// [`cfc_mutex::StateNormalizer`] (the bakery's ticket shift) to keep
+/// the graph finite.
+///
+/// Expected classifications, asserted in `tests/liveness.rs` and
+/// `tests/starvation.rs`: Peterson starvation-free with bypass bound 1;
+/// the bakery starvation-free (FCFS); Lamport's fast mutex and the plain
+/// test-and-set lock starvable, each with a concrete validated lasso;
+/// tournaments starvation-free level by level.
+///
+/// # Errors
+///
+/// Budget or memory errors, as [`check_liveness_sym`].
+pub fn check_mutex_starvation<A>(
+    alg: &A,
+    config: ExploreConfig,
+) -> Result<LivenessReport, ExploreError>
+where
+    A: MutexAlgorithm,
+    A::Lock: Clone + Eq + Hash + 'static,
+{
+    let memory = alg.memory().map_err(ExploreError::Memory)?;
+    let clients: Vec<_> = (0..alg.n() as u32)
+        .map(|i| alg.client_cycling(ProcessId::new(i), 1))
+        .collect();
+    let normalizer = alg.liveness_normalizer();
+    let spec = mutex_spec(
+        normalizer
+            .as_deref()
+            .map(|f| f as &dyn Fn(&mut [MutexClient<A::Lock>], &mut [Value])),
+    );
+    check_liveness_sym(memory, clients, &alg.symmetry(), config, &spec)
+}
+
+/// Exhaustively checks a naming algorithm for **lockout freedom**: no
+/// weakly fair schedule (with up to `max_crashes` crashes) keeps a
+/// walker running-but-nameless forever.
+///
+/// The Section 3 algorithms are wait-free — every walker decides within
+/// a bounded number of its *own* steps — so they pass outright: their
+/// graphs contain no cycle in which an undecided walker steps at all.
+/// The check still earns its keep as a differential oracle (a regression
+/// that introduces a spin loop would surface here first) and reports the
+/// naming analogue of bypass: how many peers can be named while a walker
+/// is still undecided.
+///
+/// # Errors
+///
+/// Budget or memory errors, as [`check_liveness_sym`].
+pub fn check_naming_lockout<A>(
+    alg: &A,
+    max_crashes: u32,
+    config: ExploreConfig,
+) -> Result<LivenessReport, ExploreError>
+where
+    A: NamingAlgorithm,
+    A::Proc: Clone + Eq + Hash,
+{
+    let memory = alg.memory().map_err(ExploreError::Memory)?;
+    let spec = LivenessSpec {
+        pending: &|p: &A::Proc| p.output().is_none(),
+        engaged: &|p: &A::Proc| p.output().is_none(),
+        served: &|before: &A::Proc, after: &A::Proc| {
+            before.output().is_none() && after.output().is_some()
+        },
+        normalize: None,
+    };
+    check_liveness_sym(
+        memory,
+        alg.processes(),
+        &alg.symmetry(),
+        ExploreConfig {
+            max_crashes,
+            ..config
+        },
+        &spec,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_mutex::{Bakery, LamportFast, PetersonTwo, TasSpin};
+    use cfc_naming::{TafTree, TasScan};
+
+    #[test]
+    fn tas_spin_is_starvable_with_a_validated_lasso() {
+        let alg = TasSpin::new(2);
+        let report = check_mutex_starvation(&alg, ExploreConfig::default()).unwrap();
+        let witness = report.witness().expect("tas-spin must starve");
+        assert!(!witness.lasso.cycle.is_empty());
+        // The loop keeps the victim out while the winner cycles; the
+        // victim's own spin steps are part of the loop (weak fairness).
+        let v = witness.victim;
+        assert!(witness
+            .lasso
+            .cycle
+            .iter()
+            .any(|s| matches!(s, ScheduleStep::Step(p) if *p == v)));
+        assert!(witness
+            .lasso
+            .cycle
+            .iter()
+            .any(|s| matches!(s, ScheduleStep::Step(p) if *p != v)));
+        // And it replays: the stem plus one revolution is a plain
+        // schedule of the un-reduced semantics.
+        let clients: Vec<_> = (0..2)
+            .map(|i| alg.client_cycling(ProcessId::new(i), 1))
+            .collect();
+        replay(alg.memory().unwrap(), clients, &witness.lasso.unrolled()).unwrap();
+    }
+
+    #[test]
+    fn peterson_is_starvation_free_with_bypass_one() {
+        let report =
+            check_mutex_starvation(&PetersonTwo::new(), ExploreConfig::default()).unwrap();
+        assert!(report.is_starvation_free());
+        assert_eq!(report.bypass(), Some(Some(1)));
+        assert_eq!(report.stats.victims, 2);
+    }
+
+    #[test]
+    fn lamport_fast_is_starvable() {
+        let report =
+            check_mutex_starvation(&LamportFast::new(2), ExploreConfig::default()).unwrap();
+        let witness = report.witness().expect("lamport-fast must starve");
+        assert!(witness.message.contains("pending"));
+    }
+
+    #[test]
+    fn bakery_is_starvation_free_via_the_ticket_quotient() {
+        let report = check_mutex_starvation(&Bakery::new(2), ExploreConfig::default()).unwrap();
+        assert!(report.is_starvation_free());
+        // FCFS protects doorway-*completed* waiters, and bypass counting
+        // starts earlier (at the victim's first entry step), so the lone
+        // competitor overtakes exactly twice: once from a gate check
+        // already in flight, and once more by re-running its doorway
+        // while the victim is still mid-scan (the victim's `number` is
+        // still 0, so the competitor draws a smaller ticket). The
+        // victim's own ticket then blocks any third pass.
+        assert_eq!(report.bypass(), Some(Some(2)));
+    }
+
+    #[test]
+    fn naming_walkers_are_lockout_free() {
+        let report =
+            check_naming_lockout(&TasScan::new(3), 1, ExploreConfig::default()).unwrap();
+        assert!(report.is_starvation_free());
+        let report =
+            check_naming_lockout(&TafTree::new(4).unwrap(), 0, ExploreConfig::reduced()).unwrap();
+        assert!(report.is_starvation_free());
+        // Wait-freedom bounds the naming analogue of bypass by n - 1.
+        let bypass = report.bypass().unwrap().expect("wait-free => bounded");
+        assert!(bypass <= 3);
+    }
+
+    #[test]
+    fn tampered_witnesses_are_rejected() {
+        let alg = TasSpin::new(2);
+        let report = check_mutex_starvation(&alg, ExploreConfig::default()).unwrap();
+        let witness = report.witness().unwrap().clone();
+        let clients: Vec<_> = (0..2)
+            .map(|i| alg.client_cycling(ProcessId::new(i), 1))
+            .collect();
+        let spec = mutex_spec(None);
+        validate_lasso(&alg.memory().unwrap(), &clients, &witness, &spec).unwrap();
+
+        // Dropping the loop's tail breaks closure.
+        let mut truncated = witness.clone();
+        truncated.lasso.cycle.pop();
+        assert!(validate_lasso(&alg.memory().unwrap(), &clients, &truncated, &spec).is_err());
+
+        // An empty loop is not an infinite run.
+        let mut empty = witness.clone();
+        empty.lasso.cycle.clear();
+        assert_eq!(
+            validate_lasso(&alg.memory().unwrap(), &clients, &empty, &spec),
+            Err("empty loop".into())
+        );
+
+        // A loop that drops one process's steps is unfair.
+        let mut unfair = witness;
+        let v = unfair.victim;
+        unfair
+            .lasso
+            .cycle
+            .retain(|s| matches!(s, ScheduleStep::Step(p) if *p != v));
+        assert!(validate_lasso(&alg.memory().unwrap(), &clients, &unfair, &spec).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let err = check_mutex_starvation(
+            &LamportFast::new(2),
+            ExploreConfig::default().with_max_states(10),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::StateBudget(_)));
+    }
+}

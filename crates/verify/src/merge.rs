@@ -323,4 +323,54 @@ mod tests {
         // Reads: y and the x chunk.
         assert_eq!(p.reads.len(), 2);
     }
+
+    #[test]
+    fn single_process_detector_has_no_pairs_to_attack() {
+        // n = 1: the all-pairs sweep is vacuous and must succeed without
+        // ever extracting a profile.
+        assert_resists_merge(&Splitter::new(1)).unwrap();
+    }
+
+    #[test]
+    fn lemma2_condition_on_empty_profiles_fails_vacuously() {
+        // Two processes that write nothing cannot satisfy the lemma's
+        // premise — there is no index m at all — which is exactly the
+        // degenerate case the merge construction then defeats (both solo
+        // runs are trivially mergeable). The condition must come back
+        // `false`, not loop or panic.
+        let empty = SoloProfile {
+            writes: Vec::new(),
+            reads: BTreeSet::new(),
+            output: Some(Value::ONE),
+        };
+        assert!(!lemma2_condition(&empty, &empty));
+        // One-sided emptiness: a lone unread write still fails the
+        // condition, an unread-but-present write set crosses only when
+        // the other side reads it.
+        let writer = SoloProfile {
+            writes: vec![(RegisterId::new(0), Value::ONE)],
+            reads: BTreeSet::new(),
+            output: Some(Value::ONE),
+        };
+        assert!(!lemma2_condition(&writer, &empty));
+        let reader = SoloProfile {
+            writes: Vec::new(),
+            reads: [RegisterId::new(0)].into_iter().collect(),
+            output: Some(Value::ONE),
+        };
+        assert!(lemma2_condition(&writer, &reader));
+        assert!(lemma2_condition(&reader, &writer));
+    }
+
+    #[test]
+    fn non_register_operations_are_rejected_not_merged() {
+        // The Lemma 2 machinery is defined for the atomic-register model
+        // only; a detector built from a test-and-set lock must be turned
+        // away at profile extraction, not silently mis-profiled.
+        let alg = MutexDetector::new(cfc_mutex::TasSpin::new(2));
+        let err = solo_profile(&alg, ProcessId::new(0)).unwrap_err();
+        assert!(matches!(err, MergeError::UnsupportedOp(_)), "{err}");
+        let err = merge_attack(&alg, ProcessId::new(0), ProcessId::new(1)).unwrap_err();
+        assert!(err.to_string().contains("atomic registers only"));
+    }
 }

@@ -17,8 +17,10 @@
 //!   Lemma 1 reduction.
 //! * [`naming`](cfc_naming) — the Section 3 wait-free naming algorithms
 //!   across bit-operation models, with generic dualization.
-//! * [`verify`](cfc_verify) — exhaustive interleaving exploration, the
-//!   Lemma 2 merge attack, and lower-bound adversaries.
+//! * [`verify`](cfc_verify) — exhaustive interleaving exploration with
+//!   safety, progress, and fair-cycle liveness checking (starvation
+//!   freedom, bounded bypass), the Lemma 2 merge attack, and
+//!   lower-bound adversaries.
 //! * [`native`](cfc_native) — the same algorithms on `std::sync::atomic`
 //!   for wall-clock experiments.
 //!

@@ -179,6 +179,41 @@ fn bit_access_corollary_holds() {
 }
 
 #[test]
+fn bypass_bounds_match_fair_cycle_measurements() {
+    // The fairness constants in `cfc-bounds` are *claims*; the fair-cycle
+    // liveness checker is the instrument that measures them. Keep the two
+    // in lock-step.
+    use cfc::mutex::{Bakery, PetersonTwo, TasSpin, Tournament};
+    use cfc::verify::{check_mutex_starvation, ExploreConfig};
+
+    let config = ExploreConfig::default().with_max_states(100_000);
+    let peterson = check_mutex_starvation(&PetersonTwo::new(), config).unwrap();
+    assert_eq!(peterson.bypass(), Some(Some(bounds::PETERSON_BYPASS)));
+
+    for n in [2u64, 3] {
+        let bakery = check_mutex_starvation(&Bakery::new(n as usize), config).unwrap();
+        assert!(bakery.is_starvation_free());
+        assert_eq!(bakery.bypass(), Some(Some(bounds::bakery_bypass_upper(n))));
+    }
+
+    // Tournament fairness is decided by the node type: Peterson nodes
+    // (l = 1) are starvation-free, Lamport nodes (l >= 2) starvable.
+    assert!(bounds::tournament_starvation_free(1));
+    let peterson_tree = check_mutex_starvation(&Tournament::new(3, 1), config).unwrap();
+    assert!(peterson_tree.is_starvation_free());
+    assert!(!bounds::tournament_starvation_free(2));
+    let lamport_tree = check_mutex_starvation(&Tournament::new(3, 2), config).unwrap();
+    assert!(lamport_tree.witness().is_some());
+
+    // The worst-case step row of Table 1 is ∞ [AT92]: the starvable
+    // families really do starve.
+    let lamport = check_mutex_starvation(&LamportFast::new(2), config).unwrap();
+    assert!(lamport.witness().is_some());
+    let tas = check_mutex_starvation(&TasSpin::new(2), config).unwrap();
+    assert!(tas.witness().is_some());
+}
+
+#[test]
 fn detection_has_bounded_worst_case_steps_but_mutex_does_not() {
     // E11: a splitter-tree process halts within 4*depth own steps under
     // any schedule, while a mutex client can be forced to take more than
