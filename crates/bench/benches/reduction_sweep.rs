@@ -217,10 +217,19 @@ fn run_liveness(
         let report = f(cfg).expect("sweep configs fit the budget");
         let elapsed = t.elapsed();
         let (verdict, bypass) = match &report.verdict {
-            LivenessVerdict::StarvationFree { bypass: Some(b) } => {
-                ("starvation-free".to_string(), b.to_string())
-            }
-            LivenessVerdict::StarvationFree { bypass: None } => {
+            LivenessVerdict::StarvationFree {
+                bypass: Some(b),
+                witness,
+            } => (
+                "starvation-free".to_string(),
+                match witness {
+                    // Every finite bound rides with its replayable
+                    // overtaking schedule (the witness guarantee).
+                    Some(w) => format!("{b} (witnessed, {}-step run)", w.schedule().len()),
+                    None => format!("{b} (no engaged waiter)"),
+                },
+            ),
+            LivenessVerdict::StarvationFree { bypass: None, .. } => {
                 ("starvation-free".to_string(), "unbounded".to_string())
             }
             LivenessVerdict::Starvable(w) => (

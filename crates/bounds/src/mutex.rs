@@ -180,8 +180,9 @@ pub const LAMPORT_FAST_REGISTERS: u64 = 3;
 /// Peterson's two-process algorithm: bounded bypass 1 — after a waiter's
 /// first entry step, the `turn` handshake admits the owner at most once
 /// more. Verified mechanically by `cfc-verify`'s fair-cycle checker
-/// (`check_mutex_starvation`) and cross-checked in
-/// `tests/bounds_consistency.rs`.
+/// (`check_mutex_starvation`), whose measurement ships a
+/// `validate_bypass`-checked witness schedule actually overtaking an
+/// engaged waiter once; cross-checked in `tests/bounds_consistency.rs`.
 pub const PETERSON_BYPASS: u64 = 1;
 
 /// The bakery's bypass bound, `2(n − 1)`: first-come-first-served only
@@ -190,7 +191,8 @@ pub const PETERSON_BYPASS: u64 = 1;
 /// competitors can overtake twice, once from a gate check already in
 /// flight and once more via a doorway that overlapped the waiter's
 /// ticket scan (drawing a smaller ticket). Matches the fair-cycle
-/// checker's measurement at `n = 2` (bypass 2) and `n = 3` (bypass 4).
+/// checker's measurement at `n = 2` (bypass 2) and `n = 3` (bypass 4),
+/// each backed by a `validate_bypass`-checked witness schedule.
 ///
 /// # Panics
 ///

@@ -29,6 +29,7 @@ use std::sync::Arc;
 use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup, Value};
 
 use crate::algorithm::{LockProcess, MutexAlgorithm, StateNormalizer};
+use crate::mutation::BakeryMutation;
 
 /// Ticket register width (tickets are bounded in simulation).
 pub const TICKET_WIDTH: u32 = 16;
@@ -58,6 +59,7 @@ pub struct Bakery {
     layout: Layout,
     choosing: Arc<[RegisterId]>,
     number: Arc<[RegisterId]>,
+    mutation: Option<BakeryMutation>,
 }
 
 impl Bakery {
@@ -76,7 +78,16 @@ impl Bakery {
             layout,
             choosing,
             number,
+            mutation: None,
         }
+    }
+
+    /// Plants a deliberate bug (a test-only fixture for the
+    /// checker-sensitivity suite; see [`crate::mutation`]).
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: BakeryMutation) -> Self {
+        self.mutation = Some(mutation);
+        self
     }
 }
 
@@ -108,6 +119,7 @@ impl MutexAlgorithm for Bakery {
             pc: Pc::Idle,
             max_seen: 0,
             my_number: 0,
+            mutation: self.mutation,
         }
     }
 
@@ -217,6 +229,8 @@ pub struct BakeryLock {
     pc: Pc,
     max_seen: u64,
     my_number: u64,
+    /// Test-only planted bug; `None` in every production construction.
+    mutation: Option<BakeryMutation>,
 }
 
 impl BakeryLock {
@@ -228,12 +242,20 @@ impl BakeryLock {
 impl LockProcess for BakeryLock {
     fn begin_entry(&mut self) {
         self.max_seen = 0;
-        self.pc = Pc::WriteChoosing1;
+        self.pc = if self.mutation == Some(BakeryMutation::DropDoorway) {
+            Pc::ScanMax(0)
+        } else {
+            Pc::WriteChoosing1
+        };
     }
 
     fn begin_exit(&mut self) {
         debug_assert_eq!(self.pc, Pc::EntryDone, "exit before entry completed");
-        self.pc = Pc::ExitWriteNumber;
+        self.pc = if self.mutation == Some(BakeryMutation::SkipExitReset) {
+            Pc::ExitDone
+        } else {
+            Pc::ExitWriteNumber
+        };
     }
 
     fn current(&self) -> Step {
@@ -277,7 +299,13 @@ impl LockProcess for BakeryLock {
                     Pc::WriteNumber
                 }
             }
-            Pc::WriteNumber => Pc::WriteChoosing0,
+            Pc::WriteNumber => {
+                if self.mutation == Some(BakeryMutation::DropDoorway) {
+                    Pc::WaitNumber(0) // no choosing gate to clear or await
+                } else {
+                    Pc::WriteChoosing0
+                }
+            }
             Pc::WriteChoosing0 => Pc::WaitChoosing(0),
             Pc::WaitChoosing(j) => {
                 if result.bit() {
@@ -288,12 +316,23 @@ impl LockProcess for BakeryLock {
             }
             Pc::WaitNumber(j) => {
                 let them = result.value().raw();
-                let ahead_of_us = them != 0
-                    && (them, j as u64) < (self.my_number, self.me as u64);
+                let ahead_of_us = if self.mutation == Some(BakeryMutation::FcfsOffByOne) {
+                    // Off-by-one: `<=` on the bare tickets, no id
+                    // tie-break — equal tickets deadlock each other.
+                    // (Own register excluded, as real implementations
+                    // skip j = i.)
+                    them != 0 && u64::from(j) != u64::from(self.me) && them <= self.my_number
+                } else {
+                    them != 0 && (them, u64::from(j)) < (self.my_number, u64::from(self.me))
+                };
                 if ahead_of_us {
                     Pc::WaitNumber(j) // j holds an earlier ticket
                 } else if j + 1 < self.n() {
-                    Pc::WaitChoosing(j + 1)
+                    if self.mutation == Some(BakeryMutation::DropDoorway) {
+                        Pc::WaitNumber(j + 1)
+                    } else {
+                        Pc::WaitChoosing(j + 1)
+                    }
                 } else {
                     Pc::EntryDone
                 }

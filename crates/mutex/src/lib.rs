@@ -28,6 +28,10 @@
 //!   contention detection.
 //! * [`BrokenDetector`] — an intentionally unsafe detector that the
 //!   Lemma 2 merge attack in `cfc-verify` defeats.
+//! * [`mutation`] — deliberately planted single-bug variants of the
+//!   locks above (dropped doorway, reordered writes, skipped tree
+//!   level, off-by-one ticket comparison), the mutants `cfc-verify`'s
+//!   checker-sensitivity suite must catch.
 //!
 //! # Quick start
 //!
@@ -54,6 +58,7 @@ mod detect;
 mod dijkstra;
 mod lamport;
 pub mod measure;
+pub mod mutation;
 mod peterson;
 mod splitter;
 mod tas_spin;

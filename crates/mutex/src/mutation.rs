@@ -1,0 +1,77 @@
+//! Seeded algorithm mutations: deliberately planted bugs behind a
+//! test-only knob, used to mutation-test the **checkers** in
+//! `cfc-verify`.
+//!
+//! A verifier that never fails a mutant proves nothing. Each variant
+//! here is a single, surgically small bug of the kind concurrency
+//! history actually produced — a dropped doorway, a reordered write, a
+//! skipped tree level, an off-by-one comparison — and the sensitivity
+//! suite (`tests/checker_mutations.rs`) asserts that the safety,
+//! progress, and liveness checkers each flag exactly the mutants they
+//! should while passing the unmutated algorithms.
+//!
+//! Nothing in this crate constructs a mutation on its own: a mutant
+//! exists only when a caller asks for one explicitly via
+//! `with_mutation` (the same fixture pattern as
+//! [`crate::BrokenDetector`]). The knob rides along in the lock's local
+//! state as a constant, so it never changes state counts or
+//! canonicalization of the unmutated algorithms.
+
+/// Planted bugs for [`crate::Bakery`]
+/// ([`Bakery::with_mutation`](crate::Bakery::with_mutation)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BakeryMutation {
+    /// Drop the doorway: never raise `choosing[i]`, and skip the
+    /// `await choosing[j] = 0` gates. Two customers can then overlap
+    /// ticket selection invisibly — the classic bakery-without-choosing
+    /// mutual-exclusion violation the safety explorer must find.
+    DropDoorway,
+    /// Off-by-one ticket comparison: wait while `number[j] <= number[i]`
+    /// instead of the strict lexicographic `(number[j], j) <
+    /// (number[i], i)`. Equal tickets (reachable when two doorways
+    /// overlap) then block **both** holders forever — a deadlock the
+    /// progress checker must find.
+    FcfsOffByOne,
+    /// Skip the exit protocol: leave `number[i]` standing on release.
+    /// Every later competitor waits on the stale ticket forever — a
+    /// reachable wedge the progress checker must find.
+    SkipExitReset,
+}
+
+/// Planted bugs for [`crate::PetersonTwo`]
+/// ([`PetersonTwo::with_mutation`](crate::PetersonTwo::with_mutation)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PetersonMutation {
+    /// Reorder the entry writes: `turn := j` **before** `flag[i] := 1`.
+    /// Both processes can then yield the turn before announcing
+    /// themselves and read each other's stale flags — a
+    /// mutual-exclusion violation the safety explorer must find.
+    TurnWriteFirst,
+    /// Exit clears the *other* side's flag instead of its own. The
+    /// departing process stays announced forever, wedging its peer in
+    /// the wait loop — a progress violation.
+    ExitWrongFlag,
+}
+
+/// Planted bugs for [`crate::Tournament`]
+/// ([`Tournament::with_mutation`](crate::Tournament::with_mutation)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TournamentMutation {
+    /// Skip the root level of the climb (and of the release): winning a
+    /// depth-1 subtree already "wins" the tree, so the winners of two
+    /// different root subtrees meet in the critical section — a
+    /// mutual-exclusion violation the safety explorer must find.
+    /// Meaningful only for trees of depth ≥ 2.
+    SkipRootLevel,
+}
+
+/// Planted bugs for [`crate::TasSpin`]
+/// ([`TasSpin::with_mutation`](crate::TasSpin::with_mutation)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TasSpinMutation {
+    /// Invert the test-and-set success condition: treat reading `1`
+    /// (lock already held!) as winning and reading `0` as "keep
+    /// spinning". Every spinner after the first then walks straight in —
+    /// a mutual-exclusion violation the safety explorer must find.
+    InvertedTest,
+}

@@ -19,6 +19,7 @@
 use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup, Value};
 
 use crate::algorithm::{LockProcess, MutexAlgorithm};
+use crate::mutation::PetersonMutation;
 
 /// Peterson's algorithm for exactly two processes, using three shared bits.
 #[derive(Clone, Debug)]
@@ -26,6 +27,7 @@ pub struct PetersonTwo {
     layout: Layout,
     flags: [RegisterId; 2],
     turn: RegisterId,
+    mutation: Option<PetersonMutation>,
 }
 
 impl PetersonTwo {
@@ -39,7 +41,16 @@ impl PetersonTwo {
             layout,
             flags: [f0, f1],
             turn,
+            mutation: None,
         }
+    }
+
+    /// Plants a deliberate bug (a test-only fixture for the
+    /// checker-sensitivity suite; see [`crate::mutation`]).
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: PetersonMutation) -> Self {
+        self.mutation = Some(mutation);
+        self
     }
 }
 
@@ -70,7 +81,9 @@ impl MutexAlgorithm for PetersonTwo {
 
     fn lock(&self, pid: ProcessId) -> PetersonLock {
         assert!(pid.index() < 2, "pid out of range");
-        PetersonLock::new(self.flags, self.turn, pid.index())
+        let mut lock = PetersonLock::new(self.flags, self.turn, pid.index());
+        lock.mutation = self.mutation;
+        lock
     }
 
     /// Both sides run the same index-oblivious program text (the side is
@@ -109,6 +122,8 @@ pub struct PetersonLock {
     /// This process's side: 0 or 1.
     me: usize,
     pc: Pc,
+    /// Test-only planted bug; `None` in every production construction.
+    pub(crate) mutation: Option<PetersonMutation>,
 }
 
 impl PetersonLock {
@@ -120,6 +135,7 @@ impl PetersonLock {
             turn,
             me,
             pc: Pc::Idle,
+            mutation: None,
         }
     }
 
@@ -130,7 +146,11 @@ impl PetersonLock {
 
 impl LockProcess for PetersonLock {
     fn begin_entry(&mut self) {
-        self.pc = Pc::WriteFlag;
+        self.pc = if self.mutation == Some(PetersonMutation::TurnWriteFirst) {
+            Pc::WriteTurn
+        } else {
+            Pc::WriteFlag
+        };
     }
 
     fn begin_exit(&mut self) {
@@ -145,7 +165,14 @@ impl LockProcess for PetersonLock {
             Pc::WriteTurn => Step::Op(Op::Write(self.turn, Value::new(self.other() as u64))),
             Pc::ReadOtherFlag => Step::Op(Op::Read(self.flags[self.other()])),
             Pc::ReadTurn => Step::Op(Op::Read(self.turn)),
-            Pc::ExitWriteFlag => Step::Op(Op::Write(self.flags[self.me], Value::ZERO)),
+            Pc::ExitWriteFlag => {
+                let side = if self.mutation == Some(PetersonMutation::ExitWrongFlag) {
+                    self.other()
+                } else {
+                    self.me
+                };
+                Step::Op(Op::Write(self.flags[side], Value::ZERO))
+            }
         }
     }
 
@@ -154,8 +181,20 @@ impl LockProcess for PetersonLock {
             Pc::Idle | Pc::EntryDone | Pc::ExitDone => {
                 unreachable!("advance called outside a phase")
             }
-            Pc::WriteFlag => Pc::WriteTurn,
-            Pc::WriteTurn => Pc::ReadOtherFlag,
+            Pc::WriteFlag => {
+                if self.mutation == Some(PetersonMutation::TurnWriteFirst) {
+                    Pc::ReadOtherFlag // turn was already written first
+                } else {
+                    Pc::WriteTurn
+                }
+            }
+            Pc::WriteTurn => {
+                if self.mutation == Some(PetersonMutation::TurnWriteFirst) {
+                    Pc::WriteFlag
+                } else {
+                    Pc::ReadOtherFlag
+                }
+            }
             Pc::ReadOtherFlag => {
                 if result.bit() {
                     Pc::ReadTurn

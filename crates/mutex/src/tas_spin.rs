@@ -14,6 +14,7 @@
 use cfc_core::{BitOp, Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup, Value};
 
 use crate::algorithm::{LockProcess, MutexAlgorithm};
+use crate::mutation::TasSpinMutation;
 
 /// The one-bit test-and-set spin lock for `n` processes.
 ///
@@ -35,6 +36,7 @@ pub struct TasSpin {
     n: usize,
     layout: Layout,
     bit: RegisterId,
+    mutation: Option<TasSpinMutation>,
 }
 
 impl TasSpin {
@@ -47,7 +49,20 @@ impl TasSpin {
         assert!(n >= 1, "need at least one process");
         let mut layout = Layout::new();
         let bit = layout.bit("lock", false);
-        TasSpin { n, layout, bit }
+        TasSpin {
+            n,
+            layout,
+            bit,
+            mutation: None,
+        }
+    }
+
+    /// Plants a deliberate bug (a test-only fixture for the
+    /// checker-sensitivity suite; see [`crate::mutation`]).
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: TasSpinMutation) -> Self {
+        self.mutation = Some(mutation);
+        self
     }
 }
 
@@ -75,6 +90,7 @@ impl MutexAlgorithm for TasSpin {
         TasSpinLock {
             bit: self.bit,
             pc: Pc::Idle,
+            mutation: self.mutation,
         }
     }
 
@@ -101,6 +117,8 @@ enum Pc {
 pub struct TasSpinLock {
     bit: RegisterId,
     pc: Pc,
+    /// Test-only planted bug; `None` in every production construction.
+    mutation: Option<TasSpinMutation>,
 }
 
 impl LockProcess for TasSpinLock {
@@ -127,7 +145,12 @@ impl LockProcess for TasSpinLock {
                 unreachable!("advance called outside a phase")
             }
             Pc::Spin => {
-                if result.value() == Value::ZERO {
+                let won = if self.mutation == Some(TasSpinMutation::InvertedTest) {
+                    result.value() != Value::ZERO // inverted: "success" on a held lock
+                } else {
+                    result.value() == Value::ZERO
+                };
+                if won {
                     Pc::EntryDone // won the bit
                 } else {
                     Pc::Spin // still taken: keep spinning

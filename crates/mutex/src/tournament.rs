@@ -31,6 +31,7 @@ use cfc_core::{Layout, OpResult, ProcessId, RegisterId, RegisterSet, Step, Symme
 
 use crate::algorithm::{LockProcess, MutexAlgorithm};
 use crate::lamport::LamportLock;
+use crate::mutation::TournamentMutation;
 use crate::peterson::PetersonLock;
 
 /// Registers of one tree node.
@@ -77,6 +78,7 @@ pub struct Tournament {
     layout: Layout,
     nodes: HashMap<(u32, u64), NodeRegs>,
     exit_order: ExitOrder,
+    mutation: Option<TournamentMutation>,
 }
 
 impl Tournament {
@@ -164,6 +166,7 @@ impl Tournament {
             layout,
             nodes,
             exit_order: ExitOrder::RootToLeaf,
+            mutation: None,
         }
     }
 
@@ -173,6 +176,20 @@ impl Tournament {
     #[must_use]
     pub fn with_exit_order(mut self, order: ExitOrder) -> Self {
         self.exit_order = order;
+        self
+    }
+
+    /// Plants a deliberate bug (a test-only fixture for the
+    /// checker-sensitivity suite; see [`crate::mutation`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for depth-1 trees — skipping the root of a single-level
+    /// tree would leave no protocol at all.
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: TournamentMutation) -> Self {
+        assert!(self.depth >= 2, "the mutation needs a tree of depth >= 2");
+        self.mutation = Some(mutation);
         self
     }
 
@@ -251,6 +268,7 @@ impl MutexAlgorithm for Tournament {
             nodes,
             phase: Phase::Idle,
             exit_order: self.exit_order,
+            mutation: self.mutation,
         }
     }
 
@@ -324,14 +342,26 @@ pub struct TournamentLock {
     nodes: Vec<NodeLock>,
     phase: Phase,
     exit_order: ExitOrder,
+    /// Test-only planted bug; `None` in every production construction.
+    mutation: Option<TournamentMutation>,
 }
 
 impl TournamentLock {
+    /// How many path nodes the climb actually traverses: all of them,
+    /// unless the skip-root mutation truncates the climb (and release)
+    /// one level early.
+    fn active_len(&self) -> usize {
+        match self.mutation {
+            Some(TournamentMutation::SkipRootLevel) => self.nodes.len() - 1,
+            None => self.nodes.len(),
+        }
+    }
+
     /// The path-node index released at exit position `pos`.
     fn exit_node(&self, pos: usize) -> usize {
         match self.exit_order {
             ExitOrder::LeafToRoot => pos,
-            ExitOrder::RootToLeaf => self.nodes.len() - 1 - pos,
+            ExitOrder::RootToLeaf => self.active_len() - 1 - pos,
         }
     }
 
@@ -340,7 +370,7 @@ impl TournamentLock {
             match self.phase {
                 Phase::Entry(k) => {
                     if matches!(self.nodes[k].current(), Step::Halt) {
-                        if k + 1 < self.nodes.len() {
+                        if k + 1 < self.active_len() {
                             self.nodes[k + 1].begin_entry();
                             self.phase = Phase::Entry(k + 1);
                             continue;
@@ -350,7 +380,7 @@ impl TournamentLock {
                 }
                 Phase::Exit(pos) => {
                     if matches!(self.nodes[self.exit_node(pos)].current(), Step::Halt) {
-                        if pos + 1 < self.nodes.len() {
+                        if pos + 1 < self.active_len() {
                             let next = self.exit_node(pos + 1);
                             self.nodes[next].begin_exit();
                             self.phase = Phase::Exit(pos + 1);

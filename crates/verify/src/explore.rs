@@ -10,12 +10,14 @@
 //! wait-freedom claims of the naming algorithms are validated under every
 //! adversarial failure pattern.
 //!
-//! Both the DFS safety explorer ([`explore`], [`explore_sym`]) and the
-//! progress checker ([`check_progress`], [`check_progress_sym`]) are
-//! drivers over one shared state-graph engine (`crate::graph`): the same
-//! successor function, canonicalization, crash branching, budget
-//! accounting, and ample-set selection — so a reduction is implemented
-//! (and argued sound) once, and both properties benefit from it.
+//! The DFS safety explorer ([`explore`], [`explore_sym`]), the progress
+//! checker ([`check_progress`], [`check_progress_sym`]), and the
+//! fair-cycle liveness engine (`crate::liveness`) are all thin clients
+//! of one unified traversal driver (`GraphBuilder` in `crate::graph`,
+//! configured by a `TraversalSpec`): the same successor function,
+//! canonical interning, crash branching, budget accounting, and
+//! ample-set selection — so a reduction is implemented (and argued
+//! sound) once, and every property benefits from it.
 //!
 //! # State-space reduction
 //!
@@ -82,13 +84,15 @@
 //! reconstructed from predecessor edges of the state graph, which
 //! [`replay`] accepts like any safety-violation schedule.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 
 use cfc_core::{Memory, OpResult, Process, ProcessId, Status, Step, SymmetryGroup, Value};
 
-use crate::graph::{canonicalize, expand_step, full_hash, AmpleMode, Engine, Expansion, Node};
+use crate::graph::{
+    canonicalize, expand_step, full_hash, AmpleMode, Engine, GraphBuilder, Node, Order,
+    TraversalSpec,
+};
 
 /// Limits and reduction switches for an exploration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -331,96 +335,32 @@ pub fn explore_sym<P, FS, FT>(
     procs: Vec<P>,
     symmetry: &SymmetryGroup,
     config: ExploreConfig,
-    mut state_check: FS,
-    mut terminal_check: FT,
+    state_check: FS,
+    terminal_check: FT,
 ) -> Result<ExploreStats, ExploreError>
 where
     P: Process + Clone + Eq + Hash,
     FS: FnMut(&StateView<'_, P>) -> Result<(), String>,
     FT: FnMut(&StateView<'_, P>) -> Result<(), String>,
 {
-    let n = procs.len();
-    let mut engine = Engine::new(memory, symmetry.clone(), config, n);
-    let root = engine.root(procs);
-
-    // Visited canonical states, each keyed with the hash of the concrete
-    // state that first reached it — that lets the orbit-merge counter
-    // tell a merge with a permuted sibling apart from a plain revisit.
-    let mut visited: HashMap<Node<P>, u64> = HashMap::new();
-    let mut stats = ExploreStats::default();
-    // DFS stack: (node, schedule-so-far). The schedule is stored per node
-    // to report violating paths; for small systems this is affordable.
-    let mut stack: Vec<(Node<P>, Vec<ScheduleStep>)> = vec![(root, Vec::new())];
-
-    while let Some((node, path)) = stack.pop() {
-        if engine.use_sym() {
-            let canon = engine.canonical_of(&node);
-            let node_hash = full_hash(&node);
-            match visited.get(&canon) {
-                Some(&first) => {
-                    if first != node_hash {
-                        stats.orbits_merged += 1;
-                    }
-                    continue;
-                }
-                None => {
-                    visited.insert(canon, node_hash);
-                }
-            }
-        } else if visited.insert(node.clone(), 0).is_some() {
-            continue;
-        }
-        stats.states += 1;
-        if stats.states > config.max_states {
-            return Err(ExploreError::StateBudget(stats.states));
-        }
-
-        let mem = engine.memory_of(&node);
-        let view = StateView {
-            procs: &node.procs,
-            status: &node.status,
-            memory: &mem,
-        };
-        if let Err(message) = state_check(&view) {
-            return Err(ExploreError::Violation(Box::new(Violation {
-                schedule: path,
-                message,
-            })));
-        }
-
-        let runnable: Vec<usize> = (0..n).filter(|&i| node.status[i] == Status::Running).collect();
-        if runnable.is_empty() {
-            stats.terminals += 1;
-            if let Err(message) = terminal_check(&view) {
-                return Err(ExploreError::Violation(Box::new(Violation {
-                    schedule: path,
-                    message,
-                })));
-            }
-            continue;
-        }
-
-        match engine.expand(&node, &runnable, AmpleMode::Safety, |key| {
-            visited.contains_key(key)
-        })? {
-            Expansion::Ample { pid, succ, .. } => {
-                stats.states_pruned_por += runnable.len() as u64 - 1;
-                stats.transitions += 1;
-                let mut next_path = path;
-                next_path.push(ScheduleStep::Step(pid));
-                stack.push((succ, next_path));
-            }
-            Expansion::Full(succs) => {
-                for (step, succ) in succs {
-                    stats.transitions += 1;
-                    let mut next_path = path.clone();
-                    next_path.push(step);
-                    stack.push((succ, next_path));
-                }
-            }
-        }
-    }
-    Ok(stats)
+    let spec = TraversalSpec {
+        order: Order::Dfs,
+        record_edges: false,
+        ample_mode: AmpleMode::Safety,
+        symmetry: symmetry.clone(),
+        normalizer: None,
+        served: None,
+        crash_budget: config.max_crashes,
+    };
+    let mut builder = GraphBuilder::new(memory, config, spec, procs.len());
+    let t = builder.run_dfs(procs, state_check, terminal_check)?;
+    Ok(ExploreStats {
+        states: t.states,
+        transitions: t.transitions,
+        terminals: t.terminals,
+        states_pruned_por: t.states_pruned_por,
+        orbits_merged: t.orbits_merged,
+    })
 }
 
 /// Statistics of a completed progress (deadlock-freedom) check.
@@ -512,98 +452,30 @@ where
     P: Process + Clone + Eq + Hash,
 {
     let n = procs.len();
-    let mut engine = Engine::new(memory, symmetry.clone(), config, n);
-    let root = engine.root(procs.clone());
-    let mut stats = ProgressStats::default();
+    let spec = TraversalSpec {
+        order: Order::Bfs,
+        record_edges: true,
+        ample_mode: AmpleMode::Progress,
+        symmetry: symmetry.clone(),
+        normalizer: None,
+        served: None,
+        crash_budget: config.max_crashes,
+    };
+    let mut builder = GraphBuilder::new(memory, config, spec, n);
+    let (g, t) = builder.build_graph(procs.clone())?;
+    let stats = ProgressStats {
+        states: t.states,
+        transitions: t.transitions,
+        terminals: t.terminals,
+        states_pruned_por: t.states_pruned_por,
+        orbits_merged: t.orbits_merged,
+    };
 
-    // The state graph, stored once: `nodes[id]` is the canonical
-    // representative of orbit `id` (the only copy of the state — the
-    // digest buckets hold ids, not nodes, and expansion borrows
-    // `&nodes[id]` instead of cloning it), `rev_edges[id]` its reversed
-    // edges. The first entry of `rev_edges[id]` is always the node that
-    // first generated `id`, whose own id is strictly smaller — the
-    // predecessor tree used to reconstruct violation schedules.
-    let mut nodes: Vec<Node<P>> = Vec::new();
-    let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-    let mut rev_edges: Vec<Vec<u32>> = Vec::new();
-    let mut terminal: Vec<bool> = Vec::new();
-
-    let root_canon = engine.canonical_of(&root);
-    buckets.entry(full_hash(&root_canon)).or_default().push(0);
-    nodes.push(root_canon);
-    rev_edges.push(Vec::new());
-    terminal.push(false);
-
-    let mut cursor = 0usize;
-    while cursor < nodes.len() {
-        if nodes.len() > config.max_states {
-            return Err(ExploreError::StateBudget(nodes.len()));
-        }
-        let runnable: Vec<usize> = (0..n)
-            .filter(|&i| nodes[cursor].status[i] == Status::Running)
-            .collect();
-        if runnable.is_empty() {
-            terminal[cursor] = true;
-            cursor += 1;
-            continue;
-        }
-        let expansion = engine.expand(&nodes[cursor], &runnable, AmpleMode::Progress, |key| {
-            buckets
-                .get(&full_hash(key))
-                .is_some_and(|b| b.iter().any(|&id| nodes[id as usize] == *key))
-        })?;
-        // Successors paired with their canonical form, when the ample
-        // selection already computed it for the fresh-successor proviso.
-        let succs = match expansion {
-            Expansion::Ample { pid, succ, canon } => {
-                stats.states_pruned_por += runnable.len() as u64 - 1;
-                vec![(ScheduleStep::Step(pid), succ, canon)]
-            }
-            Expansion::Full(list) => list
-                .into_iter()
-                .map(|(step, succ)| (step, succ, None))
-                .collect(),
-        };
-        for (_, succ, canon) in succs {
-            stats.transitions += 1;
-            let (canon, permuted) = match canon {
-                Some(canon) => {
-                    let permuted = canon != succ;
-                    (canon, permuted)
-                }
-                None if engine.use_sym() => {
-                    let canon = engine.canonical_of(&succ);
-                    let permuted = canon != succ;
-                    (canon, permuted)
-                }
-                None => (succ, false),
-            };
-            let bucket = buckets.entry(full_hash(&canon)).or_default();
-            match bucket.iter().copied().find(|&id| nodes[id as usize] == canon) {
-                Some(id) => {
-                    if permuted {
-                        stats.orbits_merged += 1;
-                    }
-                    rev_edges[id as usize].push(cursor as u32);
-                }
-                None => {
-                    let id = nodes.len() as u32;
-                    bucket.push(id);
-                    nodes.push(canon);
-                    rev_edges.push(vec![cursor as u32]);
-                    terminal.push(false);
-                }
-            }
-        }
-        cursor += 1;
-    }
-
-    // Back-propagate reachability of quiescence.
-    let states = nodes.len();
-    stats.states = states;
-    stats.terminals = terminal.iter().filter(|t| **t).count();
-    let mut can_finish = terminal.clone();
-    let mut work: Vec<usize> = (0..states).filter(|&i| terminal[i]).collect();
+    // Back-propagate reachability of quiescence over reversed edges.
+    let states = g.nodes.len();
+    let rev_edges = g.reversed_edges();
+    let mut can_finish = g.terminal.clone();
+    let mut work: Vec<usize> = (0..states).filter(|&i| g.terminal[i]).collect();
     while let Some(s) = work.pop() {
         for &pred in &rev_edges[s] {
             if !can_finish[pred as usize] {
@@ -615,7 +487,9 @@ where
 
     if let Some(stuck) = (0..states).find(|&i| !can_finish[i]) {
         let stuck_count = can_finish.iter().filter(|c| !**c).count();
-        let schedule = recover_schedule(&engine, engine.root(procs), stuck, &nodes, &rev_edges)?;
+        let engine = builder.engine();
+        let schedule =
+            recover_schedule(engine, engine.root(procs), stuck, &g.nodes, &g.first_pred)?;
         return Err(ExploreError::Violation(Box::new(Violation {
             schedule,
             message: format!(
@@ -631,26 +505,26 @@ where
 /// Reconstructs a concrete, [`replay`]-able schedule from the initial
 /// state to (an orbit sibling of) state `stuck` of the progress graph.
 ///
-/// The id path comes from the predecessor tree (the first reversed edge
-/// of every node is its creator, whose id is strictly smaller, so the
-/// chain terminates at the root). Because the graph stores canonical
-/// representatives, an edge `a → b` only promises that *some* step of
-/// *some* concrete member of orbit `a` lands in orbit `b`; the walk below
-/// re-derives the concrete witness: starting from the real initial state,
-/// it finds at every hop a step (or crash) whose successor canonicalizes
-/// to the next representative — one always exists, because permuting a
-/// symmetry class is an automorphism of the transition relation.
+/// The id path comes from the creator tree (`first_pred`, whose entries
+/// are strictly smaller than their children, so the chain terminates at
+/// the root). Because the graph stores canonical representatives, an
+/// edge `a → b` only promises that *some* step of *some* concrete member
+/// of orbit `a` lands in orbit `b`; the walk below re-derives the
+/// concrete witness: starting from the real initial state, it finds at
+/// every hop a step (or crash) whose successor canonicalizes to the next
+/// representative — one always exists, because permuting a symmetry
+/// class is an automorphism of the transition relation.
 fn recover_schedule<P: Process + Clone + Eq + Hash>(
     engine: &Engine<P>,
     root: Node<P>,
     stuck: usize,
     nodes: &[Node<P>],
-    rev_edges: &[Vec<u32>],
+    first_pred: &[u32],
 ) -> Result<Vec<ScheduleStep>, ExploreError> {
     let mut path: Vec<usize> = vec![stuck];
     while *path.last().expect("path is nonempty") != 0 {
         let id = *path.last().expect("path is nonempty");
-        path.push(rev_edges[id][0] as usize);
+        path.push(first_pred[id] as usize);
     }
     path.reverse();
 

@@ -1,12 +1,14 @@
-//! The shared state-graph engine behind the exhaustive explorers.
+//! The shared state-graph engine and the **unified traversal driver**
+//! behind every exhaustive checker.
 //!
-//! Both search drivers in [`crate::explore`] — the DFS safety explorer
-//! ([`crate::explore::explore_sym`]) and the BFS progress checker
-//! ([`crate::explore::check_progress_sym`]) — walk the same state graph:
-//! global states (process local states, register values, liveness
-//! statuses, remaining crash budget) connected by process steps and crash
-//! transitions. This module owns everything the two drivers share so the
-//! graph semantics cannot drift apart:
+//! All three search drivers in this crate — the DFS safety explorer
+//! ([`crate::explore::explore_sym`]), the BFS progress checker
+//! ([`crate::explore::check_progress_sym`]), and the fair-cycle liveness
+//! builder in [`crate::liveness`] — walk the same state graph: global
+//! states (process local states, register values, liveness statuses,
+//! remaining crash budget) connected by process steps and crash
+//! transitions. This module owns everything they share so the graph
+//! semantics cannot drift apart:
 //!
 //! * [`Node`] — the global-state representation and its successor
 //!   function ([`expand_step`], crash branching inside [`Engine::expand`]);
@@ -17,15 +19,19 @@
 //!   while progress checking can drop the invisibility condition C2
 //!   (quiescence is a property of the graph, not of the per-state
 //!   observation) and instead relies on the *fresh-successor* proviso —
-//!   see the soundness notes on [`AmpleMode::Progress`].
-//!
-//! The drivers keep their own visited structures (the DFS memoizes
-//! concrete states keyed canonically at pop time; the BFS interns one
-//! canonical representative per orbit with predecessor edges) and pass
-//! the engine a containment query, so each preserves its historical
-//! search order exactly.
+//!   see the soundness notes on [`AmpleMode::Progress`];
+//! * [`GraphBuilder`] — the single traversal loop, configured by a
+//!   [`TraversalSpec`] (search order, edge recording, ample mode,
+//!   symmetry group, state normalizer, crash budget). The DFS entry
+//!   point ([`GraphBuilder::run_dfs`]) memoizes concrete states keyed
+//!   canonically at pop time and invokes per-state checks; the BFS entry
+//!   point ([`GraphBuilder::build_graph`]) interns one canonical
+//!   representative per orbit and returns the labeled [`BuiltGraph`].
+//!   The interning discipline, crash branching, budget accounting, and
+//!   reduction bookkeeping live here exactly once.
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use cfc_core::{
@@ -33,7 +39,7 @@ use cfc_core::{
     Value,
 };
 
-use crate::explore::{ExploreConfig, ExploreError, ScheduleStep};
+use crate::explore::{ExploreConfig, ExploreError, ScheduleStep, StateView, Violation};
 
 /// A global state of the explored system.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -434,5 +440,637 @@ impl<P: Process + Clone + Eq + Hash> Engine<P> {
             return Ok(Some((i, None)));
         }
         Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The unified traversal driver.
+// ---------------------------------------------------------------------
+
+/// The search order of a [`GraphBuilder`] traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Order {
+    /// Depth-first with per-state property checks and schedule tracking
+    /// ([`GraphBuilder::run_dfs`]): the safety explorer's order.
+    Dfs,
+    /// Breadth-first interning one canonical representative per orbit
+    /// ([`GraphBuilder::build_graph`]): the progress and liveness order.
+    Bfs,
+}
+
+/// A borrowed state normalizer (see `cfc_mutex::StateNormalizer` for the
+/// owned form and the bisimulation contract).
+pub(crate) type NormalizerFn<'a, P> = &'a dyn Fn(&mut [P], &mut [Value]);
+
+/// A borrowed service predicate over the stepping process's
+/// `(before, after)` local states.
+pub(crate) type ServedFn<'a, P> = &'a dyn Fn(&P, &P) -> bool;
+
+/// The configuration of one [`GraphBuilder`] traversal: everything the
+/// three historical search loops disagreed on, made explicit.
+pub(crate) struct TraversalSpec<'a, P> {
+    /// Search order; must match the entry point called.
+    pub(crate) order: Order,
+    /// Record labeled forward edges and the creator tree (BFS only).
+    /// The safety DFS keeps no graph; progress and liveness need one.
+    pub(crate) record_edges: bool,
+    /// Which ample-set conditions partial-order reduction must respect.
+    pub(crate) ample_mode: AmpleMode,
+    /// The symmetry group canonical visited keys are computed under.
+    pub(crate) symmetry: SymmetryGroup,
+    /// Optional behavioral-quotient normalizer applied to the root and to
+    /// every successor before interning (see
+    /// `cfc_mutex::StateNormalizer` for the bisimulation contract).
+    /// Partial-order reduction is force-disabled while one is active —
+    /// the ample bookkeeping cannot see through the abstraction — and
+    /// reported schedules replay *modulo* the quotient: same sections,
+    /// outputs, and statuses, not necessarily byte-equal register values.
+    pub(crate) normalizer: Option<NormalizerFn<'a, P>>,
+    /// Optional service predicate `(before, after)` on the stepping
+    /// process, recorded on forward edges ([`GEdge::served`]); only
+    /// meaningful with `record_edges`.
+    pub(crate) served: Option<ServedFn<'a, P>>,
+    /// How many crash transitions the adversary may inject; overrides
+    /// [`ExploreConfig::max_crashes`] so wrappers that thread a separate
+    /// crash budget state it in one place.
+    pub(crate) crash_budget: u32,
+}
+
+impl<P> std::fmt::Debug for TraversalSpec<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraversalSpec")
+            .field("order", &self.order)
+            .field("record_edges", &self.record_edges)
+            .field("ample_mode", &self.ample_mode)
+            .field("normalizer", &self.normalizer.is_some())
+            .field("served", &self.served.is_some())
+            .field("crash_budget", &self.crash_budget)
+            .finish()
+    }
+}
+
+/// One labeled forward edge of a [`BuiltGraph`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct GEdge {
+    /// Successor node id.
+    pub(crate) to: u32,
+    /// The process that stepped (or crashed).
+    pub(crate) pid: u32,
+    /// Whether this edge is a crash transition.
+    pub(crate) crash: bool,
+    /// Whether the stepping process received service across this edge
+    /// (per [`TraversalSpec::served`]; always `false` without the hook).
+    pub(crate) served: bool,
+}
+
+/// The canonical state graph a BFS traversal produces: one interned
+/// representative per orbit, labeled forward edges (when recorded), the
+/// creator tree, and terminal flags.
+pub(crate) struct BuiltGraph<P> {
+    /// Canonical orbit representatives, in discovery (BFS) order.
+    pub(crate) nodes: Vec<Node<P>>,
+    /// Labeled forward edges per node; all empty unless
+    /// [`TraversalSpec::record_edges`] was set.
+    pub(crate) edges: Vec<Vec<GEdge>>,
+    /// The node that first generated each node (`u32::MAX` at the root);
+    /// always strictly smaller than its child, so creator chains
+    /// terminate at the root — the predecessor tree schedules are
+    /// reconstructed from.
+    pub(crate) first_pred: Vec<u32>,
+    /// Whether the node is quiescent (no process runnable).
+    pub(crate) terminal: Vec<bool>,
+}
+
+impl<P> BuiltGraph<P> {
+    /// The reversed adjacency of the recorded forward edges, in the exact
+    /// order the historical progress checker accumulated its reversed
+    /// edges: predecessors appear in discovery order, and the first
+    /// predecessor of every non-root node is its creator.
+    pub(crate) fn reversed_edges(&self) -> Vec<Vec<u32>> {
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
+        for (from, edges) in self.edges.iter().enumerate() {
+            for e in edges {
+                rev[e.to as usize].push(from as u32);
+            }
+        }
+        rev
+    }
+}
+
+impl<P> std::fmt::Debug for BuiltGraph<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltGraph")
+            .field("nodes", &self.nodes.len())
+            .field("edges", &self.edges.iter().map(Vec::len).sum::<usize>())
+            .finish()
+    }
+}
+
+/// Statistics of one [`GraphBuilder`] traversal, in the shared shape the
+/// public stat types (`ExploreStats`, `ProgressStats`, `LivenessStats`)
+/// are projected from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct TraversalStats {
+    pub(crate) states: usize,
+    pub(crate) transitions: u64,
+    pub(crate) terminals: usize,
+    pub(crate) states_pruned_por: u64,
+    pub(crate) orbits_merged: u64,
+}
+
+/// The unified traversal driver: an [`Engine`] plus a [`TraversalSpec`],
+/// running the one canonical search loop every checker in this crate is
+/// a client of.
+pub(crate) struct GraphBuilder<'a, P> {
+    engine: Engine<P>,
+    spec: TraversalSpec<'a, P>,
+    max_states: usize,
+}
+
+impl<P> std::fmt::Debug for GraphBuilder<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphBuilder")
+            .field("spec", &self.spec)
+            .field("max_states", &self.max_states)
+            .finish()
+    }
+}
+
+impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
+    /// Builds a driver for `n` processes over `memory`.
+    ///
+    /// The spec's crash budget replaces `config.max_crashes`, and
+    /// partial-order reduction is force-disabled when the spec carries a
+    /// normalizer (the ample bookkeeping cannot see through the
+    /// abstraction — asserted by the driver edge-case suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's symmetry group is over a different process
+    /// count.
+    pub(crate) fn new(
+        memory: Memory,
+        config: ExploreConfig,
+        spec: TraversalSpec<'a, P>,
+        n: usize,
+    ) -> Self {
+        let engine_config = ExploreConfig {
+            max_crashes: spec.crash_budget,
+            por: config.por && spec.normalizer.is_none(),
+            ..config
+        };
+        let engine = Engine::new(memory, spec.symmetry.clone(), engine_config, n);
+        GraphBuilder {
+            engine,
+            spec,
+            max_states: config.max_states,
+        }
+    }
+
+    /// The underlying engine — for witness re-derivation against the
+    /// graph this builder produced (`matches_canonical`, `template`,
+    /// `root`).
+    pub(crate) fn engine(&self) -> &Engine<P> {
+        &self.engine
+    }
+
+    /// Applies the spec's normalizer (if any) to `node` in place.
+    fn normalize(normalizer: Option<NormalizerFn<'_, P>>, node: &mut Node<P>) {
+        if let Some(f) = normalizer {
+            f(&mut node.procs, &mut node.values);
+        }
+    }
+
+    /// Depth-first traversal with per-state property checks — the safety
+    /// explorer's loop, byte-identical to its historical search order:
+    /// states are memoized at pop time (keyed canonically under the
+    /// spec's symmetry group), `state_check` runs in every reachable
+    /// state, `terminal_check` in every quiescent one, and violations
+    /// carry the schedule that reached them.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, state-budget exhaustion, or a memory
+    /// error.
+    pub(crate) fn run_dfs<FS, FT>(
+        &mut self,
+        procs: Vec<P>,
+        mut state_check: FS,
+        mut terminal_check: FT,
+    ) -> Result<TraversalStats, ExploreError>
+    where
+        FS: FnMut(&StateView<'_, P>) -> Result<(), String>,
+        FT: FnMut(&StateView<'_, P>) -> Result<(), String>,
+    {
+        debug_assert_eq!(self.spec.order, Order::Dfs, "run_dfs needs Order::Dfs");
+        debug_assert!(!self.spec.record_edges, "the DFS records no graph");
+        let n = procs.len();
+        let normalizer = self.spec.normalizer;
+        let mode = self.spec.ample_mode;
+        let engine = &mut self.engine;
+
+        let mut root = engine.root(procs);
+        Self::normalize(normalizer, &mut root);
+
+        // Visited canonical states, each keyed with the hash of the
+        // concrete state that first reached it — that lets the
+        // orbit-merge counter tell a merge with a permuted sibling apart
+        // from a plain revisit.
+        let mut visited: HashMap<Node<P>, u64> = HashMap::new();
+        let mut stats = TraversalStats::default();
+        // DFS stack: (node, schedule-so-far). The schedule is stored per
+        // node to report violating paths; for small systems this is
+        // affordable.
+        let mut stack: Vec<(Node<P>, Vec<ScheduleStep>)> = vec![(root, Vec::new())];
+
+        while let Some((node, path)) = stack.pop() {
+            if engine.use_sym() {
+                let canon = engine.canonical_of(&node);
+                let node_hash = full_hash(&node);
+                match visited.get(&canon) {
+                    Some(&first) => {
+                        if first != node_hash {
+                            stats.orbits_merged += 1;
+                        }
+                        continue;
+                    }
+                    None => {
+                        visited.insert(canon, node_hash);
+                    }
+                }
+            } else if visited.insert(node.clone(), 0).is_some() {
+                continue;
+            }
+            stats.states += 1;
+            if stats.states > self.max_states {
+                return Err(ExploreError::StateBudget(stats.states));
+            }
+
+            let mem = engine.memory_of(&node);
+            let view = StateView {
+                procs: &node.procs,
+                status: &node.status,
+                memory: &mem,
+            };
+            if let Err(message) = state_check(&view) {
+                return Err(ExploreError::Violation(Box::new(Violation {
+                    schedule: path,
+                    message,
+                })));
+            }
+
+            let runnable: Vec<usize> =
+                (0..n).filter(|&i| node.status[i].runnable()).collect();
+            if runnable.is_empty() {
+                stats.terminals += 1;
+                if let Err(message) = terminal_check(&view) {
+                    return Err(ExploreError::Violation(Box::new(Violation {
+                        schedule: path,
+                        message,
+                    })));
+                }
+                continue;
+            }
+
+            match engine.expand(&node, &runnable, mode, |key| visited.contains_key(key))? {
+                Expansion::Ample { pid, mut succ, .. } => {
+                    stats.states_pruned_por += runnable.len() as u64 - 1;
+                    stats.transitions += 1;
+                    Self::normalize(normalizer, &mut succ);
+                    let mut next_path = path;
+                    next_path.push(ScheduleStep::Step(pid));
+                    stack.push((succ, next_path));
+                }
+                Expansion::Full(succs) => {
+                    for (step, mut succ) in succs {
+                        stats.transitions += 1;
+                        Self::normalize(normalizer, &mut succ);
+                        let mut next_path = path.clone();
+                        next_path.push(step);
+                        stack.push((succ, next_path));
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Breadth-first traversal interning one canonical representative per
+    /// orbit — the loop behind the progress checker and the liveness
+    /// graph builder, byte-identical to their historical search order:
+    /// the same interning discipline (single-copy store keyed by digest
+    /// buckets), crash branching, ample selection, budget accounting, and
+    /// reduction bookkeeping, with edge recording controlled by the spec.
+    ///
+    /// # Errors
+    ///
+    /// State-budget exhaustion or a memory error. Property evaluation is
+    /// the *client's* job — the builder returns the graph and stats.
+    pub(crate) fn build_graph(
+        &mut self,
+        procs: Vec<P>,
+    ) -> Result<(BuiltGraph<P>, TraversalStats), ExploreError> {
+        debug_assert_eq!(self.spec.order, Order::Bfs, "build_graph needs Order::Bfs");
+        let n = procs.len();
+        let normalizer = self.spec.normalizer;
+        let served_hook = self.spec.served;
+        let record = self.spec.record_edges;
+        let mode = self.spec.ample_mode;
+        let engine = &mut self.engine;
+        let mut stats = TraversalStats::default();
+
+        let mut root = engine.root(procs);
+        Self::normalize(normalizer, &mut root);
+        let root_canon = engine.canonical_of(&root);
+
+        let mut g = BuiltGraph {
+            nodes: vec![root_canon],
+            edges: vec![Vec::new()],
+            first_pred: vec![u32::MAX],
+            terminal: vec![false],
+        };
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        buckets.entry(full_hash(&g.nodes[0])).or_default().push(0);
+
+        let mut cursor = 0usize;
+        while cursor < g.nodes.len() {
+            if g.nodes.len() > self.max_states {
+                return Err(ExploreError::StateBudget(g.nodes.len()));
+            }
+            let runnable: Vec<usize> = (0..n)
+                .filter(|&i| g.nodes[cursor].status[i].runnable())
+                .collect();
+            if runnable.is_empty() {
+                g.terminal[cursor] = true;
+                stats.terminals += 1;
+                cursor += 1;
+                continue;
+            }
+            let expansion = engine.expand(&g.nodes[cursor], &runnable, mode, |key| {
+                buckets
+                    .get(&full_hash(key))
+                    .is_some_and(|b| b.iter().any(|&id| g.nodes[id as usize] == *key))
+            })?;
+            // Successors paired with their canonical form, when the ample
+            // selection already computed it for the fresh-successor
+            // proviso. (The ample path precomputes it only when no
+            // normalizer rewrites the successor afterwards — POR is off
+            // with one active — so a cached form is always still valid.)
+            let succs = match expansion {
+                Expansion::Ample { pid, succ, canon } => {
+                    stats.states_pruned_por += runnable.len() as u64 - 1;
+                    vec![(ScheduleStep::Step(pid), succ, canon)]
+                }
+                Expansion::Full(list) => list
+                    .into_iter()
+                    .map(|(step, succ)| (step, succ, None))
+                    .collect(),
+            };
+            for (step, mut succ, canon) in succs {
+                stats.transitions += 1;
+                Self::normalize(normalizer, &mut succ);
+                let label = record.then(|| {
+                    let (pid, crash) = match step {
+                        ScheduleStep::Step(p) => (p.index() as u32, false),
+                        ScheduleStep::Crash(p) => (p.index() as u32, true),
+                    };
+                    let served = !crash
+                        && served_hook.is_some_and(|f| {
+                            f(
+                                &g.nodes[cursor].procs[pid as usize],
+                                &succ.procs[pid as usize],
+                            )
+                        });
+                    (pid, crash, served)
+                });
+                let (canon, permuted) = match canon {
+                    Some(canon) => {
+                        let permuted = canon != succ;
+                        (canon, permuted)
+                    }
+                    None if engine.use_sym() => {
+                        let canon = engine.canonical_of(&succ);
+                        let permuted = canon != succ;
+                        (canon, permuted)
+                    }
+                    None => (succ, false),
+                };
+                let bucket = buckets.entry(full_hash(&canon)).or_default();
+                let to = match bucket
+                    .iter()
+                    .copied()
+                    .find(|&id| g.nodes[id as usize] == canon)
+                {
+                    Some(id) => {
+                        if permuted {
+                            stats.orbits_merged += 1;
+                        }
+                        id
+                    }
+                    None => {
+                        let id = g.nodes.len() as u32;
+                        bucket.push(id);
+                        g.nodes.push(canon);
+                        g.edges.push(Vec::new());
+                        g.first_pred.push(cursor as u32);
+                        g.terminal.push(false);
+                        id
+                    }
+                };
+                if let Some((pid, crash, served)) = label {
+                    g.edges[cursor].push(GEdge {
+                        to,
+                        pid,
+                        crash,
+                        served,
+                    });
+                }
+            }
+            cursor += 1;
+        }
+        stats.states = g.nodes.len();
+        Ok((g, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfc_core::{Layout, Op, RegisterId};
+
+    /// A process bumping a private counter `laps` times, tracking a lap
+    /// count in otherwise-dead local state the normalizer can fold.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Bumper {
+        reg: RegisterId,
+        laps: u8,
+        done: u8,
+        /// Dead scratch: remembers the last value read, though nothing
+        /// ever branches on it — exactly the shape a normalizer erases.
+        scratch: u64,
+        pc: u8,
+    }
+
+    impl Process for Bumper {
+        fn current(&self) -> Step {
+            if self.done == self.laps {
+                return Step::Halt;
+            }
+            match self.pc {
+                0 => Step::Op(Op::Read(self.reg)),
+                _ => Step::Op(Op::Write(self.reg, Value::new(1))),
+            }
+        }
+        fn advance(&mut self, result: OpResult) {
+            if self.pc == 0 {
+                self.scratch = result.value().raw() + u64::from(self.done) * 1000;
+                self.pc = 1;
+            } else {
+                self.pc = 0;
+                self.done += 1;
+            }
+        }
+    }
+
+    fn bumper_system(laps: u8) -> (Memory, Vec<Bumper>) {
+        let mut layout = Layout::new();
+        let r = layout.register("r", 2, 0);
+        let memory = Memory::new(layout, 2).unwrap();
+        let mk = || Bumper {
+            reg: r,
+            laps,
+            done: 0,
+            scratch: 0,
+            pc: 0,
+        };
+        (memory, vec![mk(), mk()])
+    }
+
+    fn spec<'a, P>(order: Order, record_edges: bool) -> TraversalSpec<'a, P> {
+        TraversalSpec {
+            order,
+            record_edges,
+            ample_mode: AmpleMode::Safety,
+            symmetry: SymmetryGroup::trivial(2),
+            normalizer: None,
+            served: None,
+            crash_budget: 0,
+        }
+    }
+
+    /// The spec combination no public wrapper exercises yet: a DFS with
+    /// a normalizer. Folding the dead scratch must merge states (the
+    /// scratch multiplies the space by the values read), while the
+    /// reachable terminal observations stay identical.
+    #[test]
+    fn dfs_with_normalizer_merges_dead_scratch() {
+        let normalizer = |procs: &mut [Bumper], _values: &mut [Value]| {
+            for p in procs {
+                p.scratch = 0;
+            }
+        };
+        let run = |normalize: bool| {
+            let (memory, procs) = bumper_system(2);
+            let mut spec = spec(Order::Dfs, false);
+            spec.normalizer = normalize.then_some(&normalizer as &dyn Fn(&mut _, &mut _));
+            let mut builder =
+                GraphBuilder::new(memory, ExploreConfig::default(), spec, procs.len());
+            builder.run_dfs(procs, |_| Ok(()), |_| Ok(())).unwrap()
+        };
+        let raw = run(false);
+        let folded = run(true);
+        assert!(
+            folded.states < raw.states,
+            "normalizer must merge scratch-only differences: {folded:?} vs {raw:?}"
+        );
+        assert_eq!(folded.terminals, 1, "both-done is a single folded terminal");
+    }
+
+    /// `record_edges: false` on the BFS (a combination neither progress
+    /// nor liveness uses): the node store, creator tree, and terminal
+    /// flags are still produced; only the edge lists stay empty.
+    #[test]
+    fn bfs_without_edge_recording_keeps_the_creator_tree() {
+        let (memory, procs) = bumper_system(1);
+        let mut builder = GraphBuilder::new(
+            memory,
+            ExploreConfig::default(),
+            spec(Order::Bfs, false),
+            procs.len(),
+        );
+        let (g, stats) = builder.build_graph(procs).unwrap();
+        assert_eq!(g.nodes.len(), stats.states);
+        assert!(g.edges.iter().all(Vec::is_empty));
+        assert_eq!(g.first_pred[0], u32::MAX);
+        for (id, &pred) in g.first_pred.iter().enumerate().skip(1) {
+            assert!((pred as usize) < id, "creator ids decrease toward the root");
+        }
+        assert!(g.terminal.iter().any(|t| *t));
+    }
+
+    /// The spec's crash budget overrides the config's, so a wrapper that
+    /// threads crashes separately cannot desynchronize the two.
+    #[test]
+    fn spec_crash_budget_overrides_config() {
+        let (memory, procs) = bumper_system(1);
+        let mut s = spec(Order::Bfs, true);
+        s.crash_budget = 1;
+        // Deliberately contradictory config: zero crashes.
+        let mut builder = GraphBuilder::new(
+            memory,
+            ExploreConfig::default().with_max_crashes(0),
+            s,
+            procs.len(),
+        );
+        let (g, _) = builder.build_graph(procs).unwrap();
+        assert_eq!(g.nodes[0].crashes_left, 1, "spec budget wins");
+        assert!(
+            g.edges.iter().flatten().any(|e| e.crash),
+            "crash transitions must be explored"
+        );
+    }
+
+    /// A normalizer force-disables partial-order reduction: the ample
+    /// bookkeeping cannot see through the abstraction, so the driver
+    /// must not prune even when the config asks for POR.
+    #[test]
+    fn normalizer_disables_partial_order_reduction() {
+        let normalizer = |procs: &mut [Bumper], _values: &mut [Value]| {
+            for p in procs {
+                p.scratch = 0;
+            }
+        };
+        let (memory, procs) = bumper_system(1);
+        let mut s = spec(Order::Bfs, true);
+        s.normalizer = Some(&normalizer);
+        let config = ExploreConfig {
+            por: true,
+            ..ExploreConfig::default()
+        };
+        let mut builder = GraphBuilder::new(memory, config, s, procs.len());
+        let (_, stats) = builder.build_graph(procs).unwrap();
+        assert_eq!(stats.states_pruned_por, 0, "POR must be suspended");
+
+        // Without the normalizer the same config does prune (the Halt
+        // steps at least are ample).
+        let (memory, procs) = bumper_system(1);
+        let mut builder = GraphBuilder::new(memory, config, spec(Order::Bfs, true), procs.len());
+        let (_, stats) = builder.build_graph(procs).unwrap();
+        assert!(stats.states_pruned_por > 0, "{stats:?}");
+    }
+
+    /// One-process systems degenerate cleanly: a single chain of states,
+    /// no crash branching at zero budget, one terminal.
+    #[test]
+    fn single_process_graph_is_a_chain() {
+        let (memory, mut procs) = bumper_system(1);
+        procs.truncate(1);
+        let mut s = spec(Order::Bfs, true);
+        s.symmetry = SymmetryGroup::trivial(1);
+        let mut builder = GraphBuilder::new(memory, ExploreConfig::default(), s, 1);
+        let (g, stats) = builder.build_graph(procs).unwrap();
+        assert_eq!(stats.terminals, 1);
+        assert!(g.edges.iter().all(|es| es.len() <= 1));
+        assert!(g.edges.iter().flatten().all(|e| !e.crash));
     }
 }

@@ -13,8 +13,10 @@
 //!   deadlock-freedom (progress) for all three problem families.
 //! * [`liveness`] — fair-cycle liveness on the same engine: starvation
 //!   freedom under weak fairness and bounded-bypass measurement, with
-//!   replayable lasso witnesses
-//!   ([`check_mutex_starvation`], [`check_naming_lockout`]).
+//!   replayable lasso witnesses for starvable verdicts **and**
+//!   [`BypassWitness`] overtaking schedules for every finite bypass
+//!   bound ([`check_mutex_starvation`], [`check_naming_lockout`];
+//!   no reported bound without a replayable schedule).
 //! * [`merge`] — Lemma 2's merge construction: extract solo-run profiles,
 //!   test the lemma's condition, and build the forbidden two-winner run
 //!   when an algorithm violates it.
@@ -56,8 +58,9 @@ pub use explore::{
     ExploreConfig, ExploreError, ExploreStats, ProgressStats, Replayed, ScheduleStep, Violation,
 };
 pub use liveness::{
-    check_liveness_sym, check_mutex_starvation, check_naming_lockout, validate_lasso, Lasso,
-    LassoWitness, LivenessReport, LivenessSpec, LivenessStats, LivenessVerdict, NormalizeFn,
+    check_liveness_sym, check_mutex_starvation, check_naming_lockout, validate_bypass,
+    validate_lasso, BypassWitness, Lasso, LassoWitness, LivenessReport, LivenessSpec,
+    LivenessStats, LivenessVerdict, NormalizeFn,
 };
 pub use merge::{
     assert_resists_merge, lemma2_condition, merge_attack, solo_profile, MergeError, MergeFailure,

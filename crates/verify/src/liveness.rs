@@ -76,6 +76,16 @@
 //! yields bound 1; the bakery's FCFS order bounds it by the waiters
 //! ahead at the doorway; a plain test-and-set lock is unbounded (and
 //! starvable with it).
+//!
+//! Every **finite** bound additionally ships a [`BypassWitness`]: the
+//! argmax path of that longest-path computation, concretized into a
+//! replayable schedule (stem to an engaged-pending state, then the
+//! overtaking suffix) and re-checked by [`validate_bypass`] against the
+//! un-reduced semantics — including an independent recount of the
+//! overtakes — so a reported bound is never just a number. A witness
+//! whose quotient-level derivation fails validation (slot labels can in
+//! principle mislabel a serve) is re-derived on the exact trivial-group
+//! graph, whose labels are concrete.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -86,7 +96,9 @@ use cfc_mutex::{MutexAlgorithm, MutexClient};
 use cfc_naming::NamingAlgorithm;
 
 use crate::explore::{replay, ExploreConfig, ExploreError, ScheduleStep};
-use crate::graph::{expand_step, full_hash, AmpleMode, Engine, Expansion, Node};
+use crate::graph::{
+    expand_step, AmpleMode, BuiltGraph, Engine, GEdge, GraphBuilder, Node, Order, TraversalSpec,
+};
 
 /// A borrowed state normalizer (see [`cfc_mutex::StateNormalizer`] for
 /// the owned form and the behavioral contract).
@@ -165,6 +177,53 @@ impl fmt::Display for LassoWitness {
     }
 }
 
+/// A bypass witness: a concrete, replayable schedule in which `victim`
+/// completes its doorway (becomes pending **and** engaged) and is then
+/// overtaken exactly `bypass` times while it stays pending — the
+/// machine-checked evidence behind a measured bypass bound.
+///
+/// [`validate_bypass`] re-checks the whole claim against the plain,
+/// un-reduced step semantics, including re-counting the overtakes
+/// independently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BypassWitness {
+    /// The overtaken process.
+    pub victim: ProcessId,
+    /// How many times the victim is overtaken along `overtaking`.
+    pub bypass: u64,
+    /// The prefix from the initial state to a state where the victim is
+    /// pending and engaged.
+    pub stem: Vec<ScheduleStep>,
+    /// The overtaking suffix: the victim stays pending and engaged at
+    /// every state, and exactly `bypass` of these steps serve another
+    /// process.
+    pub overtaking: Vec<ScheduleStep>,
+}
+
+impl BypassWitness {
+    /// The stem followed by the overtaking suffix — the full schedule
+    /// shape [`crate::explore::replay`] accepts.
+    pub fn schedule(&self) -> Vec<ScheduleStep> {
+        let mut all = self.stem.clone();
+        all.extend(self.overtaking.iter().copied());
+        all
+    }
+}
+
+impl fmt::Display for BypassWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "process {} is overtaken {} times while pending and engaged \
+             (stem {} steps, overtaking {} steps)",
+            self.victim,
+            self.bypass,
+            self.stem.len(),
+            self.overtaking.len()
+        )
+    }
+}
+
 /// The outcome of a liveness check.
 #[derive(Clone, Debug)]
 pub enum LivenessVerdict {
@@ -175,6 +234,15 @@ pub enum LivenessVerdict {
     StarvationFree {
         /// Max overtakes of an engaged waiter; `None` = unbounded.
         bypass: Option<u64>,
+        /// A [`validate_bypass`]-checked schedule achieving the bound —
+        /// present whenever `bypass` is `Some(b)` and some reachable
+        /// state has a pending, engaged victim. Absent when bypass is
+        /// unbounded, when no waiter ever engages, or — rare, and only
+        /// under a symmetry quotient — when the quotient-derived
+        /// schedule failed validation and rebuilding the exact graph to
+        /// re-derive it exceeded the state budget (the bound itself is
+        /// still reported; only its witness is forfeited).
+        witness: Option<Box<BypassWitness>>,
     },
     /// Some process is starved by a weakly fair schedule; the witness
     /// lasso replays concretely.
@@ -226,27 +294,20 @@ impl LivenessReport {
     /// verdict is starvable; `Some(None)` means bypass is unbounded).
     pub fn bypass(&self) -> Option<Option<u64>> {
         match &self.verdict {
-            LivenessVerdict::StarvationFree { bypass } => Some(*bypass),
+            LivenessVerdict::StarvationFree { bypass, .. } => Some(*bypass),
             LivenessVerdict::Starvable(_) => None,
         }
     }
-}
 
-/// One forward edge of a liveness graph.
-#[derive(Clone, Copy, Debug)]
-struct LEdge {
-    to: u32,
-    pid: u32,
-    crash: bool,
-    served: bool,
-}
-
-/// A per-victim-quotient liveness graph: canonical nodes, labeled
-/// forward edges, and the creator tree used to reconstruct stems.
-struct LGraph<P> {
-    nodes: Vec<Node<P>>,
-    edges: Vec<Vec<LEdge>>,
-    first_pred: Vec<u32>,
+    /// The validated overtaking schedule behind a bounded-bypass
+    /// measurement, when one exists (see
+    /// [`LivenessVerdict::StarvationFree`]).
+    pub fn bypass_witness(&self) -> Option<&BypassWitness> {
+        match &self.verdict {
+            LivenessVerdict::StarvationFree { witness, .. } => witness.as_deref(),
+            LivenessVerdict::Starvable(_) => None,
+        }
+    }
 }
 
 /// Exhaustively checks the liveness property described by `spec` over
@@ -332,28 +393,28 @@ where
 
     let mut stats = LivenessStats::default();
     let mut bypass: Option<u64> = Some(0);
+    let mut bypass_witness: Option<Box<BypassWitness>> = None;
     // The exact trivial-group graph used to settle quotient artifacts is
     // victim-independent, so it is built at most once per check.
-    let mut exact_cache: Option<(Engine<P>, LGraph<P>)> = None;
+    let mut exact_cache: Option<(GraphBuilder<'_, P>, BuiltGraph<P>)> = None;
     for (group, victims) in victim_sets {
-        // The ample bookkeeping cannot see through a normalizer's
-        // abstraction, so POR is off while one is active.
-        let mut graph_config = config;
-        if spec.normalize.is_some() {
-            graph_config.por = false;
-        }
-        let sym_quotient = graph_config.symmetry && !group.is_trivial();
-        let mut engine = Engine::new(memory.clone(), group.clone(), graph_config, n);
-        let graph = build_graph(&mut engine, procs.clone(), graph_config, spec, &mut stats)?;
-        stats.graphs += 1;
+        let sym_quotient = config.symmetry && !group.is_trivial();
+        let (builder, graph) =
+            liveness_graph(&memory, &procs, group.clone(), config, spec, &mut stats)?;
         for v in victims {
             stats.victims += 1;
             let candidates = find_fair_starvation(&graph, v, spec);
             let mut confirmed = None;
             for scc in &candidates {
-                let Some(witness) =
-                    extract_witness(&engine, &graph, scc, v, spec, procs.clone(), group.order())
-                else {
+                let Some(witness) = extract_witness(
+                    builder.engine(),
+                    &graph,
+                    scc,
+                    v,
+                    spec,
+                    procs.clone(),
+                    group.order(),
+                ) else {
                     continue;
                 };
                 if validate_lasso(&memory, &procs, &witness, spec).is_ok() {
@@ -375,27 +436,21 @@ where
                 // where labels are concrete and the fairness test is
                 // precise.
                 if exact_cache.is_none() {
-                    let exact_config = ExploreConfig {
-                        symmetry: false,
-                        ..graph_config
-                    };
-                    let trivial = SymmetryGroup::trivial(n);
-                    let mut exact_engine = Engine::new(memory.clone(), trivial, exact_config, n);
-                    let exact = build_graph(
-                        &mut exact_engine,
-                        procs.clone(),
-                        exact_config,
-                        spec,
-                        &mut stats,
-                    )?;
-                    stats.graphs += 1;
-                    exact_cache = Some((exact_engine, exact));
+                    exact_cache =
+                        Some(exact_graph(&memory, &procs, config, spec, &mut stats)?);
                 }
-                let (exact_engine, exact) = exact_cache.as_ref().expect("just built");
+                let (exact_builder, exact) = exact_cache.as_ref().expect("just built");
                 if let Some(scc) = find_fair_starvation(exact, v, spec).first() {
-                    let witness =
-                        extract_witness(exact_engine, exact, scc, v, spec, procs.clone(), 1)
-                            .expect("exact fair SCCs concretize");
+                    let witness = extract_witness(
+                        exact_builder.engine(),
+                        exact,
+                        scc,
+                        v,
+                        spec,
+                        procs.clone(),
+                        1,
+                    )
+                    .expect("exact fair SCCs concretize");
                     validate_lasso(&memory, &procs, &witness, spec)
                         .expect("exact lassos validate against the un-reduced semantics");
                     return Ok(LivenessReport {
@@ -403,146 +458,185 @@ where
                         stats,
                     });
                 }
-                bypass = match (bypass, bypass_bound(exact, v, spec)) {
-                    (Some(a), Some(b)) => Some(a.max(b)),
-                    _ => None,
-                };
+                // Bypass for this victim, settled on the exact graph —
+                // its labels are concrete, so a derived witness always
+                // validates.
+                let Some(a) = bypass else { continue };
+                let (bound, plan) = measure_bypass(exact, v, spec);
+                match bound {
+                    None => {
+                        bypass = None;
+                        bypass_witness = None;
+                    }
+                    Some(b) => {
+                        if b > a || (b == a && bypass_witness.is_none()) {
+                            bypass_witness = plan.map(|plan| {
+                                let w = concretize_bypass(
+                                    exact_builder.engine(),
+                                    exact,
+                                    &plan,
+                                    v,
+                                    b,
+                                    spec,
+                                    &procs,
+                                );
+                                validate_bypass(&memory, &procs, &w, spec)
+                                    .expect("exact bypass witnesses validate");
+                                Box::new(w)
+                            });
+                        }
+                        bypass = Some(a.max(b));
+                    }
+                }
                 continue;
             }
-            bypass = match (bypass, bypass_bound(&graph, v, spec)) {
-                (Some(a), Some(b)) => Some(a.max(b)),
-                _ => None,
-            };
+            // Bypass for this victim on the (possibly quotient) graph.
+            let Some(a) = bypass else { continue };
+            let (bound, plan) = measure_bypass(&graph, v, spec);
+            match bound {
+                None => {
+                    bypass = None;
+                    bypass_witness = None;
+                }
+                Some(b) => {
+                    if b > a || (b == a && bypass_witness.is_none()) {
+                        bypass_witness = None;
+                        if let Some(plan) = plan {
+                            let w = concretize_bypass(
+                                builder.engine(),
+                                &graph,
+                                &plan,
+                                v,
+                                b,
+                                spec,
+                                &procs,
+                            );
+                            if validate_bypass(&memory, &procs, &w, spec).is_ok() {
+                                bypass_witness = Some(Box::new(w));
+                            } else {
+                                // The quotient's slot labels admitted a
+                                // path no concrete run realizes: settle
+                                // the witness on the exact graph (the
+                                // bound itself is quotient-invariant —
+                                // differential suites assert it). A
+                                // budget failure here only forfeits the
+                                // witness, never the verdict.
+                                debug_assert!(
+                                    sym_quotient,
+                                    "exact bypass witnesses validate"
+                                );
+                                if exact_cache.is_none() {
+                                    if let Ok(built) =
+                                        exact_graph(&memory, &procs, config, spec, &mut stats)
+                                    {
+                                        exact_cache = Some(built);
+                                    }
+                                }
+                                if let Some((exact_builder, exact)) = exact_cache.as_ref() {
+                                    let (ebound, eplan) = measure_bypass(exact, v, spec);
+                                    debug_assert_eq!(
+                                        ebound,
+                                        Some(b),
+                                        "quotient and exact bypass bounds agree"
+                                    );
+                                    if ebound == Some(b) {
+                                        if let Some(eplan) = eplan {
+                                            let w = concretize_bypass(
+                                                exact_builder.engine(),
+                                                exact,
+                                                &eplan,
+                                                v,
+                                                b,
+                                                spec,
+                                                &procs,
+                                            );
+                                            validate_bypass(&memory, &procs, &w, spec)
+                                                .expect("exact bypass witnesses validate");
+                                            bypass_witness = Some(Box::new(w));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    bypass = Some(a.max(b));
+                }
+            }
         }
     }
     Ok(LivenessReport {
-        verdict: LivenessVerdict::StarvationFree { bypass },
+        verdict: LivenessVerdict::StarvationFree {
+            bypass,
+            witness: bypass_witness,
+        },
         stats,
     })
 }
 
-/// Builds the labeled state graph over the engine's quotient.
-fn build_graph<P>(
-    engine: &mut Engine<P>,
-    procs: Vec<P>,
+/// Builds one labeled liveness graph over the unified traversal driver:
+/// BFS order, recorded edges (service labels from the spec), the
+/// liveness-safe ample mode, and the spec's normalizer. Accumulates the
+/// traversal's counters into `stats`.
+fn liveness_graph<'s, P>(
+    memory: &Memory,
+    procs: &[P],
+    group: SymmetryGroup,
     config: ExploreConfig,
-    spec: &LivenessSpec<'_, P>,
+    spec: &LivenessSpec<'s, P>,
     stats: &mut LivenessStats,
-) -> Result<LGraph<P>, ExploreError>
+) -> Result<(GraphBuilder<'s, P>, BuiltGraph<P>), ExploreError>
 where
     P: Process + Clone + Eq + Hash,
 {
-    let n = procs.len();
-    let normalize = |node: &mut Node<P>| {
-        if let Some(f) = spec.normalize {
-            f(&mut node.procs, &mut node.values);
-        }
+    let traversal = TraversalSpec {
+        order: Order::Bfs,
+        record_edges: true,
+        ample_mode: AmpleMode::Liveness,
+        symmetry: group,
+        normalizer: spec.normalize,
+        served: Some(spec.served),
+        crash_budget: config.max_crashes,
     };
+    let mut builder = GraphBuilder::new(memory.clone(), config, traversal, procs.len());
+    let (graph, t) = builder.build_graph(procs.to_vec())?;
+    stats.states += t.states;
+    stats.transitions += t.transitions;
+    stats.states_pruned_por += t.states_pruned_por;
+    stats.orbits_merged += t.orbits_merged;
+    stats.graphs += 1;
+    Ok((builder, graph))
+}
 
-    let mut root = engine.root(procs);
-    normalize(&mut root);
-    let root_canon = engine.canonical_of(&root);
-
-    let mut g = LGraph {
-        nodes: vec![root_canon],
-        edges: vec![Vec::new()],
-        first_pred: vec![u32::MAX],
+/// The exact (trivial-group) liveness graph used to settle quotient
+/// artifacts and re-derive witnesses with concrete edge labels.
+fn exact_graph<'s, P>(
+    memory: &Memory,
+    procs: &[P],
+    config: ExploreConfig,
+    spec: &LivenessSpec<'s, P>,
+    stats: &mut LivenessStats,
+) -> Result<(GraphBuilder<'s, P>, BuiltGraph<P>), ExploreError>
+where
+    P: Process + Clone + Eq + Hash,
+{
+    let exact_config = ExploreConfig {
+        symmetry: false,
+        ..config
     };
-    let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-    buckets.entry(full_hash(&g.nodes[0])).or_default().push(0);
-
-    let mut cursor = 0usize;
-    while cursor < g.nodes.len() {
-        if g.nodes.len() > config.max_states {
-            return Err(ExploreError::StateBudget(g.nodes.len()));
-        }
-        let runnable: Vec<usize> = (0..n)
-            .filter(|&i| g.nodes[cursor].status[i].runnable())
-            .collect();
-        if runnable.is_empty() {
-            cursor += 1;
-            continue;
-        }
-        let expansion = engine.expand(&g.nodes[cursor], &runnable, AmpleMode::Liveness, |key| {
-            buckets
-                .get(&full_hash(key))
-                .is_some_and(|b| b.iter().any(|&id| g.nodes[id as usize] == *key))
-        })?;
-        let succs = match expansion {
-            Expansion::Ample { pid, succ, canon } => {
-                stats.states_pruned_por += runnable.len() as u64 - 1;
-                vec![(ScheduleStep::Step(pid), succ, canon)]
-            }
-            Expansion::Full(list) => list
-                .into_iter()
-                .map(|(step, succ)| (step, succ, None))
-                .collect(),
-        };
-        for (step, mut succ, canon) in succs {
-            stats.transitions += 1;
-            normalize(&mut succ);
-            let (pid, crash) = match step {
-                ScheduleStep::Step(p) => (p.index() as u32, false),
-                ScheduleStep::Crash(p) => (p.index() as u32, true),
-            };
-            let served = !crash
-                && (spec.served)(
-                    &g.nodes[cursor].procs[pid as usize],
-                    &succ.procs[pid as usize],
-                );
-            // The ample path precomputed the canonical form only when no
-            // normalizer rewrote the successor afterwards (POR is off
-            // with one active), so a cached form is always still valid.
-            let (canon, permuted) = match canon {
-                Some(canon) => {
-                    let permuted = canon != succ;
-                    (canon, permuted)
-                }
-                None if engine.use_sym() => {
-                    let canon = engine.canonical_of(&succ);
-                    let permuted = canon != succ;
-                    (canon, permuted)
-                }
-                None => (succ, false),
-            };
-            let bucket = buckets.entry(full_hash(&canon)).or_default();
-            let to = match bucket
-                .iter()
-                .copied()
-                .find(|&id| g.nodes[id as usize] == canon)
-            {
-                Some(id) => {
-                    if permuted {
-                        stats.orbits_merged += 1;
-                    }
-                    id
-                }
-                None => {
-                    let id = g.nodes.len() as u32;
-                    bucket.push(id);
-                    g.nodes.push(canon);
-                    g.edges.push(Vec::new());
-                    g.first_pred.push(cursor as u32);
-                    id
-                }
-            };
-            g.edges[cursor].push(LEdge {
-                to,
-                pid,
-                crash,
-                served,
-            });
-        }
-        cursor += 1;
-    }
-    stats.states += g.nodes.len();
-    Ok(g)
+    liveness_graph(
+        memory,
+        procs,
+        SymmetryGroup::trivial(procs.len()),
+        exact_config,
+        spec,
+        stats,
+    )
 }
 
 /// Strongly connected components of the subgraph induced by `active`
 /// nodes, via iterative Tarjan. Emitted in reverse topological order of
 /// the condensation (every SCC before each of its predecessors).
-fn tarjan_sccs(edges: &[Vec<LEdge>], active: &[bool]) -> Vec<Vec<u32>> {
+fn tarjan_sccs(edges: &[Vec<GEdge>], active: &[bool]) -> Vec<Vec<u32>> {
     const UNSEEN: u32 = u32::MAX;
     let n = active.len();
     let mut index = vec![UNSEEN; n];
@@ -608,7 +702,11 @@ fn tarjan_sccs(edges: &[Vec<LEdge>], active: &[bool]) -> Vec<Vec<u32>> {
 }
 
 /// Marks the nodes where `victim` is running and pending.
-fn pending_mask<P: Process>(g: &LGraph<P>, victim: usize, spec: &LivenessSpec<'_, P>) -> Vec<bool> {
+fn pending_mask<P: Process>(
+    g: &BuiltGraph<P>,
+    victim: usize,
+    spec: &LivenessSpec<'_, P>,
+) -> Vec<bool> {
     g.nodes
         .iter()
         .map(|node| node.status[victim].runnable() && (spec.pending)(&node.procs[victim]))
@@ -627,7 +725,7 @@ fn pending_mask<P: Process>(g: &LGraph<P>, victim: usize, spec: &LivenessSpec<'_
 /// caller falls back to an exact graph when no candidate survives).
 /// Without symmetry the labels are concrete and the test is exact.
 fn find_fair_starvation<P>(
-    g: &LGraph<P>,
+    g: &BuiltGraph<P>,
     victim: usize,
     spec: &LivenessSpec<'_, P>,
 ) -> Vec<Vec<u32>>
@@ -641,7 +739,7 @@ where
         for &v in &scc {
             member[v as usize] = true;
         }
-        let internal = |e: &LEdge| member[e.to as usize];
+        let internal = |e: &GEdge| member[e.to as usize];
         // Statuses are constant across an SCC (Done/Crashed absorb, and
         // a crash edge cannot be internal: the crash budget decreases),
         // so the fairness obligation can be read off any member.
@@ -675,11 +773,26 @@ where
     fair
 }
 
+/// A canonical-level bypass path: the node the overtaking run starts at
+/// (the stem target) and its hops, each `(target node, pid hint)` — the
+/// shape [`concretize_bypass`] turns into a concrete schedule.
+#[derive(Clone, Debug)]
+struct BypassPlan {
+    start: u32,
+    hops: Vec<(u32, u32)>,
+}
+
 /// Measures the bypass bound of `victim` on the engaged-pending
-/// subgraph: `None` (unbounded) iff some SCC of that subgraph contains a
-/// service-by-other edge, else the longest service-weighted path over
-/// the SCC condensation.
-fn bypass_bound<P>(g: &LGraph<P>, victim: usize, spec: &LivenessSpec<'_, P>) -> Option<u64>
+/// subgraph — `None` (unbounded) iff some SCC of that subgraph contains
+/// a service-by-other edge, else the longest service-weighted path over
+/// the SCC condensation — together with a [`BypassPlan`] tracing a path
+/// that achieves the bound (absent when the bound is unbounded, or when
+/// no reachable state has the victim pending and engaged).
+fn measure_bypass<P>(
+    g: &BuiltGraph<P>,
+    victim: usize,
+    spec: &LivenessSpec<'_, P>,
+) -> (Option<u64>, Option<BypassPlan>)
 where
     P: Process,
 {
@@ -692,7 +805,7 @@ where
                 && (spec.engaged)(&node.procs[victim])
         })
         .collect();
-    let weight = |e: &LEdge| u64::from(e.served && !e.crash && e.pid as usize != victim);
+    let weight = |e: &GEdge| u64::from(e.served && !e.crash && e.pid as usize != victim);
 
     let sccs = tarjan_sccs(&g.edges, &active);
     let mut scc_id = vec![u32::MAX; g.nodes.len()];
@@ -703,29 +816,127 @@ where
     }
     // Tarjan emits successors first, so one pass in emission order sees
     // every successor component's best value before its predecessors.
+    // `choice[k]` remembers the outgoing edge achieving `best[k]`, for
+    // path reconstruction.
     let mut best = vec![0u64; sccs.len()];
+    let mut choice: Vec<Option<(u32, usize)>> = vec![None; sccs.len()];
     let mut answer = 0u64;
+    let mut arg: Option<usize> = None;
     for (k, scc) in sccs.iter().enumerate() {
         let mut b = 0u64;
+        let mut ch = None;
         for &v in scc {
-            for e in &g.edges[v as usize] {
+            for (ei, e) in g.edges[v as usize].iter().enumerate() {
                 if !active[e.to as usize] {
                     continue;
                 }
                 let m = scc_id[e.to as usize] as usize;
                 if m == k {
                     if weight(e) > 0 {
-                        return None; // pumpable overtaking cycle
+                        return (None, None); // pumpable overtaking cycle
                     }
                 } else {
-                    b = b.max(weight(e) + best[m]);
+                    let cand = weight(e) + best[m];
+                    if cand > b {
+                        b = cand;
+                        ch = Some((v, ei));
+                    }
                 }
             }
         }
         best[k] = b;
-        answer = answer.max(b);
+        choice[k] = ch;
+        if b > answer || arg.is_none() {
+            answer = answer.max(b);
+            arg = Some(k);
+        }
     }
-    Some(answer)
+
+    // Trace out a path achieving `answer`: start inside the best SCC,
+    // follow each component's chosen edge, routing between chosen edges
+    // through intra-SCC hops (all weight 0, all active). `arg` is `None`
+    // exactly when no reachable state is engaged-pending at all.
+    let Some(start_scc) = arg else {
+        return (Some(answer), None);
+    };
+    let mut hops: Vec<(u32, u32)> = Vec::new();
+    let mut k = start_scc;
+    let start = choice[k].map_or(sccs[k][0], |(v, _)| v);
+    let mut cur = start;
+    while let Some((v, ei)) = choice[k] {
+        if cur != v {
+            let mut member = vec![false; g.nodes.len()];
+            for &x in &sccs[k] {
+                member[x as usize] = true;
+            }
+            hops.extend(path_in_scc(g, &member, cur, v));
+        }
+        let e = &g.edges[v as usize][ei];
+        hops.push((e.to, e.pid));
+        cur = e.to;
+        k = scc_id[cur as usize] as usize;
+    }
+    (Some(answer), Some(BypassPlan { start, hops }))
+}
+
+/// Turns a canonical-level [`BypassPlan`] into a concrete
+/// [`BypassWitness`]: the stem is re-derived along the creator tree to
+/// the plan's start node, the overtaking suffix along its hops —
+/// exactly the re-derivation the lasso extractor uses, so every hop has
+/// a concrete realization. The overtake count recorded in the witness
+/// is the count the *concrete* schedule achieves (a stabilizer quotient
+/// can in principle mislabel a serve, which is why the caller validates
+/// the witness and falls back to the exact graph on a mismatch).
+fn concretize_bypass<P>(
+    engine: &Engine<P>,
+    g: &BuiltGraph<P>,
+    plan: &BypassPlan,
+    victim: usize,
+    bound: u64,
+    spec: &LivenessSpec<'_, P>,
+    procs: &[P],
+) -> BypassWitness
+where
+    P: Process + Clone + Eq + Hash,
+{
+    let normalize = |node: &mut Node<P>| {
+        if let Some(f) = spec.normalize {
+            f(&mut node.procs, &mut node.values);
+        }
+    };
+    let mut stem_ids = vec![plan.start];
+    while *stem_ids.last().expect("nonempty") != 0 {
+        let id = *stem_ids.last().expect("nonempty");
+        stem_ids.push(g.first_pred[id as usize]);
+    }
+    stem_ids.reverse();
+
+    let mut cur = engine.root(procs.to_vec());
+    normalize(&mut cur);
+    let mut stem = Vec::with_capacity(stem_ids.len() - 1);
+    for &id in &stem_ids[1..] {
+        let (step, next) = derive_step(engine, &cur, &g.nodes[id as usize], None, spec);
+        stem.push(step);
+        cur = next;
+    }
+    let mut overtaking = Vec::with_capacity(plan.hops.len());
+    for &(target, hint) in &plan.hops {
+        let (step, next) = derive_step(
+            engine,
+            &cur,
+            &g.nodes[target as usize],
+            Some(hint as usize),
+            spec,
+        );
+        overtaking.push(step);
+        cur = next;
+    }
+    BypassWitness {
+        victim: ProcessId::new(victim as u32),
+        bypass: bound,
+        stem,
+        overtaking,
+    }
 }
 
 /// Rebuilds a concrete, replayable lasso from a fair-candidate SCC of
@@ -744,7 +955,7 @@ where
 /// [`validate_lasso`] before being reported.
 fn extract_witness<P>(
     engine: &Engine<P>,
-    g: &LGraph<P>,
+    g: &BuiltGraph<P>,
     scc: &[u32],
     victim: usize,
     spec: &LivenessSpec<'_, P>,
@@ -894,7 +1105,7 @@ where
 }
 
 /// BFS path between two nodes inside an SCC, as (target, pid hint) hops.
-fn path_in_scc<P>(g: &LGraph<P>, member: &[bool], from: u32, to: u32) -> Vec<(u32, u32)> {
+fn path_in_scc<P>(g: &BuiltGraph<P>, member: &[bool], from: u32, to: u32) -> Vec<(u32, u32)> {
     if from == to {
         return Vec::new();
     }
@@ -1050,6 +1261,92 @@ where
     Ok(())
 }
 
+/// Validates a bypass witness against the plain, un-reduced step
+/// semantics, mirroring [`validate_lasso`]: the stem must [`replay`]
+/// cleanly to a state where the victim is running, pending, **and**
+/// engaged; the overtaking suffix must keep the victim pending and
+/// engaged at every state; and the number of steps in which another
+/// process is served — counted here independently, by re-executing the
+/// schedule — must equal the witness's claimed `bypass`. This is
+/// exactly the meaning of "`victim` completes its doorway and is then
+/// overtaken `bypass` times", checked with no reduction in the loop.
+///
+/// # Errors
+///
+/// Returns a description of the first property the witness fails.
+pub fn validate_bypass<P>(
+    memory: &Memory,
+    procs: &[P],
+    witness: &BypassWitness,
+    spec: &LivenessSpec<'_, P>,
+) -> Result<(), String>
+where
+    P: Process + Clone + Eq + Hash,
+{
+    use cfc_core::{OpResult, Step};
+
+    let start = replay(memory.clone(), procs.to_vec(), &witness.stem)
+        .map_err(|e| format!("stem does not replay: {e}"))?;
+    let v = witness.victim.index();
+    let check = |procs: &[P], status: &[Status], at: &str| -> Result<(), String> {
+        if !status[v].runnable() {
+            return Err(format!("victim not running {at}"));
+        }
+        if !(spec.pending)(&procs[v]) {
+            return Err(format!("victim not pending {at}"));
+        }
+        if !(spec.engaged)(&procs[v]) {
+            return Err(format!("victim not engaged {at}"));
+        }
+        Ok(())
+    };
+    check(&start.procs, &start.status, "after the stem")?;
+
+    let mut cur = start.procs;
+    let mut mem = start.memory;
+    let mut status = start.status;
+    let mut overtakes = 0u64;
+    for (k, s) in witness.overtaking.iter().enumerate() {
+        match s {
+            ScheduleStep::Crash(pid) => {
+                let i = pid.index();
+                if !status[i].runnable() {
+                    return Err(format!("overtaking step {k} crashes non-running {pid}"));
+                }
+                status[i] = Status::Crashed;
+            }
+            ScheduleStep::Step(pid) => {
+                let i = pid.index();
+                if !status[i].runnable() {
+                    return Err(format!("overtaking step {k} steps non-running {pid}"));
+                }
+                let before = cur[i].clone();
+                match cur[i].current() {
+                    Step::Halt => status[i] = Status::Done,
+                    Step::Internal => cur[i].advance(OpResult::None),
+                    Step::Op(op) => {
+                        let result = mem
+                            .apply(&op)
+                            .map_err(|e| format!("overtaking step {k} fails to apply: {e}"))?;
+                        cur[i].advance(result);
+                    }
+                }
+                if i != v && (spec.served)(&before, &cur[i]) {
+                    overtakes += 1;
+                }
+            }
+        }
+        check(&cur, &status, &format!("at overtaking step {}", k + 1))?;
+    }
+    if overtakes != witness.bypass {
+        return Err(format!(
+            "schedule overtakes the victim {overtakes} times, witness claims {}",
+            witness.bypass
+        ));
+    }
+    Ok(())
+}
+
 /// The [`LivenessSpec`] of mutual exclusion over cycling clients.
 fn mutex_spec<'a, L>(
     normalize: Option<NormalizeFn<'a, MutexClient<L>>>,
@@ -1190,11 +1487,52 @@ mod tests {
 
     #[test]
     fn peterson_is_starvation_free_with_bypass_one() {
-        let report =
-            check_mutex_starvation(&PetersonTwo::new(), ExploreConfig::default()).unwrap();
+        let alg = PetersonTwo::new();
+        let report = check_mutex_starvation(&alg, ExploreConfig::default()).unwrap();
         assert!(report.is_starvation_free());
         assert_eq!(report.bypass(), Some(Some(1)));
         assert_eq!(report.stats.victims, 2);
+        // The measured bound is backed by a validated witness: a concrete
+        // schedule in which an engaged waiter really is overtaken once.
+        let witness = report.bypass_witness().expect("bounded bypass => witness");
+        assert_eq!(witness.bypass, 1);
+        let clients: Vec<_> = (0..2)
+            .map(|i| alg.client_cycling(ProcessId::new(i), 1))
+            .collect();
+        validate_bypass(&alg.memory().unwrap(), &clients, witness, &mutex_spec(None)).unwrap();
+    }
+
+    #[test]
+    fn tampered_bypass_witnesses_are_rejected() {
+        let alg = PetersonTwo::new();
+        let report = check_mutex_starvation(&alg, ExploreConfig::default()).unwrap();
+        let witness = report.bypass_witness().unwrap().clone();
+        let clients: Vec<_> = (0..2)
+            .map(|i| alg.client_cycling(ProcessId::new(i), 1))
+            .collect();
+        let spec = mutex_spec(None);
+        let memory = alg.memory().unwrap();
+        validate_bypass(&memory, &clients, &witness, &spec).unwrap();
+
+        // Claiming one more overtake than the schedule performs fails the
+        // independent recount.
+        let mut inflated = witness.clone();
+        inflated.bypass += 1;
+        let err = validate_bypass(&memory, &clients, &inflated, &spec).unwrap_err();
+        assert!(err.contains("overtakes"), "{err}");
+
+        // Dropping the stem leaves the victim un-engaged.
+        let mut stemless = witness.clone();
+        stemless.stem.clear();
+        let err = validate_bypass(&memory, &clients, &stemless, &spec).unwrap_err();
+        assert!(err.contains("engaged") || err.contains("pending"), "{err}");
+
+        // Dropping the overtaking suffix breaks the independent recount:
+        // zero observed overtakes cannot back a claimed bound of one.
+        let mut truncated = witness;
+        truncated.overtaking.clear();
+        let err = validate_bypass(&memory, &clients, &truncated, &spec).unwrap_err();
+        assert!(err.contains("overtakes the victim 0 times"), "{err}");
     }
 
     #[test]
@@ -1207,8 +1545,17 @@ mod tests {
 
     #[test]
     fn bakery_is_starvation_free_via_the_ticket_quotient() {
-        let report = check_mutex_starvation(&Bakery::new(2), ExploreConfig::default()).unwrap();
+        let alg = Bakery::new(2);
+        let report = check_mutex_starvation(&alg, ExploreConfig::default()).unwrap();
         assert!(report.is_starvation_free());
+        // The witness schedule was derived through the ticket-shift
+        // quotient but must validate against the raw semantics.
+        let witness = report.bypass_witness().expect("bounded bypass => witness");
+        assert_eq!(witness.bypass, 2);
+        let clients: Vec<_> = (0..2)
+            .map(|i| alg.client_cycling(ProcessId::new(i), 1))
+            .collect();
+        validate_bypass(&alg.memory().unwrap(), &clients, witness, &mutex_spec(None)).unwrap();
         // FCFS protects doorway-*completed* waiters, and bypass counting
         // starts earlier (at the victim's first entry step), so the lone
         // competitor overtakes exactly twice: once from a gate check
@@ -1221,9 +1568,21 @@ mod tests {
 
     #[test]
     fn naming_walkers_are_lockout_free() {
-        let report =
-            check_naming_lockout(&TasScan::new(3), 1, ExploreConfig::default()).unwrap();
+        let alg = TasScan::new(3);
+        let report = check_naming_lockout(&alg, 1, ExploreConfig::default()).unwrap();
         assert!(report.is_starvation_free());
+        // The naming bypass bound carries a witness too, validated under
+        // the naming spec (pending = engaged = still nameless).
+        let witness = report.bypass_witness().expect("bounded => witness");
+        let spec = LivenessSpec {
+            pending: &|p: &<TasScan as cfc_naming::NamingAlgorithm>::Proc| p.output().is_none(),
+            engaged: &|p: &<TasScan as cfc_naming::NamingAlgorithm>::Proc| p.output().is_none(),
+            served: &|b: &<TasScan as cfc_naming::NamingAlgorithm>::Proc, a| {
+                b.output().is_none() && a.output().is_some()
+            },
+            normalize: None,
+        };
+        validate_bypass(&alg.memory().unwrap(), &alg.processes(), witness, &spec).unwrap();
         let report =
             check_naming_lockout(&TafTree::new(4).unwrap(), 0, ExploreConfig::reduced()).unwrap();
         assert!(report.is_starvation_free());

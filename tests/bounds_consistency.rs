@@ -181,19 +181,55 @@ fn bit_access_corollary_holds() {
 #[test]
 fn bypass_bounds_match_fair_cycle_measurements() {
     // The fairness constants in `cfc-bounds` are *claims*; the fair-cycle
-    // liveness checker is the instrument that measures them. Keep the two
-    // in lock-step.
-    use cfc::mutex::{Bakery, PetersonTwo, TasSpin, Tournament};
-    use cfc::verify::{check_mutex_starvation, ExploreConfig};
+    // liveness checker is the instrument that measures them — and every
+    // measured bound must come with a validated witness schedule, so the
+    // lock-step here is three-way: claim = measurement = replayed run.
+    use cfc::core::Section;
+    use cfc::mutex::{Bakery, LockProcess, MutexClient, PetersonTwo, TasSpin, Tournament};
+    use cfc::verify::{check_mutex_starvation, validate_bypass, ExploreConfig, LivenessSpec};
+
+    fn spec<'a, L: LockProcess>() -> LivenessSpec<'a, MutexClient<L>> {
+        LivenessSpec {
+            pending: &|c: &MutexClient<L>| {
+                cfc::core::Process::section(c) == Some(Section::Entry)
+            },
+            engaged: &|c: &MutexClient<L>| c.engaged(),
+            served: &|b: &MutexClient<L>, a: &MutexClient<L>| {
+                cfc::core::Process::section(b) != Some(Section::Critical)
+                    && cfc::core::Process::section(a) == Some(Section::Critical)
+            },
+            normalize: None,
+        }
+    }
+
+    /// Claim, measurement, and witness must agree.
+    fn assert_witnessed_bound<A>(alg: &A, claimed: u64, config: ExploreConfig)
+    where
+        A: MutexAlgorithm,
+        A::Lock: Clone + Eq + std::hash::Hash + 'static,
+    {
+        let report = check_mutex_starvation(alg, config).unwrap();
+        assert!(report.is_starvation_free(), "{}", alg.name());
+        assert_eq!(report.bypass(), Some(Some(claimed)), "{}", alg.name());
+        let witness = report
+            .bypass_witness()
+            .unwrap_or_else(|| panic!("{}: bound without witness", alg.name()));
+        assert_eq!(witness.bypass, claimed, "{}", alg.name());
+        let clients: Vec<_> = (0..alg.n() as u32)
+            .map(|i| alg.client_cycling(ProcessId::new(i), 1))
+            .collect();
+        validate_bypass(&alg.memory().unwrap(), &clients, witness, &spec())
+            .unwrap_or_else(|e| panic!("{}: witness fails validation: {e}", alg.name()));
+    }
 
     let config = ExploreConfig::default().with_max_states(100_000);
-    let peterson = check_mutex_starvation(&PetersonTwo::new(), config).unwrap();
-    assert_eq!(peterson.bypass(), Some(Some(bounds::PETERSON_BYPASS)));
-
+    assert_witnessed_bound(&PetersonTwo::new(), bounds::PETERSON_BYPASS, config);
     for n in [2u64, 3] {
-        let bakery = check_mutex_starvation(&Bakery::new(n as usize), config).unwrap();
-        assert!(bakery.is_starvation_free());
-        assert_eq!(bakery.bypass(), Some(Some(bounds::bakery_bypass_upper(n))));
+        assert_witnessed_bound(
+            &Bakery::new(n as usize),
+            bounds::bakery_bypass_upper(n),
+            config,
+        );
     }
 
     // Tournament fairness is decided by the node type: Peterson nodes

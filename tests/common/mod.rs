@@ -47,3 +47,27 @@ pub fn sym_only(max_states: usize) -> ExploreConfig {
         ..budget(max_states)
     }
 }
+
+/// All four reduction variants over one budget, labeled for assertion
+/// messages — the canonical sweep for differential suites that compare
+/// the baseline against every reduced configuration (liveness, witness
+/// properties, sweeps).
+pub fn labeled_variants(max_states: usize) -> [(&'static str, ExploreConfig); 4] {
+    [
+        ("baseline", budget(max_states)),
+        ("por", por_only(max_states)),
+        ("sym", sym_only(max_states)),
+        ("por+sym", reduced(max_states)),
+    ]
+}
+
+/// The three *reduced* variants, labeled — for differential suites that
+/// run the baseline once separately and compare each reduction against
+/// it (safety and progress equivalence harnesses).
+pub fn reduced_variants(max_states: usize) -> [(&'static str, ExploreConfig); 3] {
+    [
+        ("por", por_only(max_states)),
+        ("sym", sym_only(max_states)),
+        ("both", reduced(max_states)),
+    ]
+}

@@ -183,21 +183,21 @@ fn oversized_exploration_fails_gracefully() {
 
 #[test]
 #[ignore = "heavy baseline (~1.03M states); run via cargo test --release -- --ignored"]
-fn lamport_tournament_exhaustive_baseline() {
+fn exhaustive_lamport_tournament_baseline() {
     let stats = check_mutex_safety(&Tournament::new(4, 2), 1, budget(2_000_000)).unwrap();
     assert!(stats.states > 1_000_000);
 }
 
 #[test]
 #[ignore = "heavy baseline (~515k states); run via cargo test --release -- --ignored"]
-fn peterson_tournament_five_processes_baseline() {
+fn exhaustive_peterson_tournament_five_baseline() {
     let stats = check_mutex_safety(&Tournament::new(5, 1), 1, budget(1_000_000)).unwrap();
     assert!(stats.states > 500_000);
 }
 
 #[test]
 #[ignore = "heavy baseline violation search; run via cargo test --release -- --ignored"]
-fn unsafe_exit_order_baseline() {
+fn exhaustive_unsafe_exit_order_baseline() {
     let alg = Tournament::new(4, 2).with_exit_order(ExitOrder::LeafToRoot);
     match check_mutex_safety(&alg, 1, budget(2_000_000)) {
         Err(ExploreError::Violation(v)) => assert!(v.message.contains("critical section")),

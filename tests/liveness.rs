@@ -21,25 +21,7 @@ use cfc::verify::{
     check_mutex_starvation, check_naming_lockout, replay, ExploreConfig, LivenessReport,
     ScheduleStep,
 };
-use common::budget;
-
-/// The four reduction variants over one budget.
-fn variants(max_states: usize) -> [ExploreConfig; 4] {
-    let base = budget(max_states);
-    [
-        base,
-        ExploreConfig { por: true, ..base },
-        ExploreConfig {
-            symmetry: true,
-            ..base
-        },
-        ExploreConfig {
-            por: true,
-            symmetry: true,
-            ..base
-        },
-    ]
-}
+use common::labeled_variants;
 
 /// Checks one algorithm across all four variants, asserting that every
 /// variant produces the same classification and bypass bound, and that
@@ -52,7 +34,7 @@ where
     A::Lock: Clone + Eq + std::hash::Hash + 'static,
 {
     let mut outcome: Option<(bool, Option<u64>)> = None;
-    for config in variants(max_states) {
+    for (label, config) in labeled_variants(max_states) {
         let report = check_mutex_starvation(alg, config).unwrap();
         let this = (
             report.is_starvation_free(),
@@ -64,10 +46,8 @@ where
             Some(prev) => assert_eq!(
                 prev,
                 this,
-                "{}: reduced and un-reduced disagree (por={}, symmetry={})",
+                "{}: reduced and un-reduced disagree ({label})",
                 alg.name(),
-                config.por,
-                config.symmetry
             ),
         }
     }
@@ -162,14 +142,14 @@ fn tournament_of_lamport_nodes_inherits_starvability() {
 fn naming_algorithms_are_lockout_free() {
     // Wait-freedom leaves no cycle in which an undecided walker steps,
     // so every naming algorithm passes, crashes included.
-    for config in variants(60_000) {
+    for (label, config) in labeled_variants(60_000) {
         let report = check_naming_lockout(&TasScan::new(3), 1, config).unwrap();
-        assert!(report.is_starvation_free());
+        assert!(report.is_starvation_free(), "{label}");
         let report = check_naming_lockout(&TafTree::new(4).unwrap(), 0, config).unwrap();
-        assert!(report.is_starvation_free());
+        assert!(report.is_starvation_free(), "{label}");
         // The naming analogue of bypass is bounded by n − 1 peers.
         let bypass = report.bypass().unwrap().expect("wait-free => bounded");
-        assert!(bypass <= 3, "{bypass}");
+        assert!(bypass <= 3, "{label}: {bypass}");
     }
     let report =
         check_naming_lockout(&TasReadSearch::new(3), 0, ExploreConfig::reduced()).unwrap();

@@ -22,21 +22,11 @@ use cfc::mutex::{
     PetersonTwo, Splitter, SplitterTree, Tournament,
 };
 use cfc::naming::{NamingAlgorithm, TafTree, TasReadSearch, TasScan, TasTarTree};
-use cfc::verify::explore::ExploreConfig;
 use cfc::verify::{
     check_detection_progress, check_mutex_progress, check_naming_progress, replay, ExploreError,
     ProgressStats, ScheduleStep,
 };
-use common::{budget, por_only, reduced, sym_only};
-
-/// The three reduced variants differentially compared against a baseline.
-fn variants(max_states: usize) -> [(&'static str, ExploreConfig); 3] {
-    [
-        ("por", por_only(max_states)),
-        ("sym", sym_only(max_states)),
-        ("both", reduced(max_states)),
-    ]
-}
+use common::{budget, reduced, reduced_variants as variants};
 
 /// A verdict a run can end with; budget/memory failures always panic.
 fn verdict(r: &Result<ProgressStats, ExploreError>, what: &str) -> bool {
@@ -206,7 +196,7 @@ fn eight_walker_progress_verifies_only_reduced() {
 
 #[test]
 #[ignore = "heavy reduced progress check (~4.6M states, minutes); run via cargo test --release -- --ignored"]
-fn tournament_six_progress_verifies_on_the_reduced_graph() {
+fn exhaustive_tournament_six_progress_reduced() {
     // Six clients over an eight-leaf tree: the un-reduced progress graph
     // (measured 5,366,136 states in the release profile) overflows a
     // 5M-state budget that the reduced graph (4,627,055 canonical
@@ -222,7 +212,7 @@ fn tournament_six_progress_verifies_on_the_reduced_graph() {
 
 #[test]
 #[ignore = "heavy reduced progress check (~423k states); run via cargo test --release -- --ignored"]
-fn bakery_four_progress_on_the_reduced_graph() {
+fn exhaustive_bakery_four_progress_reduced() {
     // Four bakery customers: ~423k reduced progress states. Bakery scans
     // every ticket, so ample sets bite less than for tournaments — the
     // point of this config is the four-customer deadlock-freedom verdict
@@ -234,7 +224,7 @@ fn bakery_four_progress_on_the_reduced_graph() {
 
 #[test]
 #[ignore = "heavy progress baseline (~455k states); run via cargo test --release -- --ignored"]
-fn tournament_five_progress_baseline() {
+fn exhaustive_tournament_five_progress_baseline() {
     let stats = check_mutex_progress(&Tournament::new(5, 1), 1, budget(1_000_000)).unwrap();
     assert!(stats.states > 400_000);
 }

@@ -25,21 +25,11 @@ use cfc::mutex::{
     Tournament,
 };
 use cfc::naming::{Model, NamingAlgorithm, TafTree, TasReadSearch, TasScan, TasScanProc, TasTarTree};
-use cfc::verify::explore::ExploreConfig;
 use cfc::verify::{
     check_detection_safety, check_mutex_safety, check_naming_uniqueness, replay, ExploreError,
     ExploreStats, ScheduleStep,
 };
-use common::{budget, por_only, reduced, sym_only};
-
-/// The three reduced variants differentially compared against a baseline.
-fn variants(max_states: usize) -> [(&'static str, ExploreConfig); 3] {
-    [
-        ("por", por_only(max_states)),
-        ("sym", sym_only(max_states)),
-        ("both", reduced(max_states)),
-    ]
-}
+use common::{budget, reduced, reduced_variants as variants};
 
 /// A verdict a run can end with; budget/memory failures always panic.
 fn verdict(r: &Result<ExploreStats, ExploreError>, what: &str) -> bool {
