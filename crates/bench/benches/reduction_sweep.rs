@@ -37,6 +37,7 @@ fn variants(max_states: usize, max_crashes: u32) -> [(&'static str, ExploreConfi
         max_crashes,
         por: false,
         symmetry: false,
+        ..ExploreConfig::default()
     };
     [
         ("baseline", base),
@@ -59,6 +60,14 @@ fn variants(max_states: usize, max_crashes: u32) -> [(&'static str, ExploreConfi
     ]
 }
 
+/// Mean packed-record footprint, in bytes per stored state.
+fn bytes_per_state(arena_bytes: u64, states: usize) -> String {
+    if states == 0 {
+        return "-".into();
+    }
+    format!("{:.1}", arena_bytes as f64 / states as f64)
+}
+
 fn run(
     label: &str,
     f: impl Fn(ExploreConfig) -> Result<ExploreStats, ExploreError>,
@@ -72,6 +81,9 @@ fn run(
                 label.to_string(),
                 variant.to_string(),
                 "~15^8".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
                 "-".into(),
                 "-".into(),
                 "-".into(),
@@ -91,6 +103,9 @@ fn run(
             stats.terminals.to_string(),
             stats.states_pruned_por.to_string(),
             stats.orbits_merged.to_string(),
+            bytes_per_state(stats.arena_bytes, stats.states),
+            stats.arena_bytes.to_string(),
+            stats.spilled_buckets.to_string(),
             format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
         ]);
     }
@@ -113,6 +128,9 @@ fn run_progress(
                 "-".into(),
                 "-".into(),
                 "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
                 "(skipped)".into(),
             ]);
             continue;
@@ -128,6 +146,9 @@ fn run_progress(
             stats.terminals.to_string(),
             stats.states_pruned_por.to_string(),
             stats.orbits_merged.to_string(),
+            bytes_per_state(stats.arena_bytes, stats.states),
+            stats.arena_bytes.to_string(),
+            stats.spilled_buckets.to_string(),
             format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
         ]);
     }
@@ -143,6 +164,9 @@ fn print_progress_sweep() {
         "terminals",
         "pruned(POR)",
         "orbits merged",
+        "bytes_per_state",
+        "arena_bytes",
+        "spilled_buckets",
         "wall",
     ]);
     run_progress(
@@ -328,6 +352,9 @@ fn print_sweep() {
         "terminals",
         "pruned(POR)",
         "orbits merged",
+        "bytes_per_state",
+        "arena_bytes",
+        "spilled_buckets",
         "wall",
     ]);
     run(

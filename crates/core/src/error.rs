@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::ids::{RegisterId, WordId};
+use crate::value::Value;
 
 /// An error building a [`Layout`](crate::Layout).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,6 +98,19 @@ pub enum MemoryError {
     },
     /// The atomicity was zero or exceeded [`MAX_WIDTH`](crate::MAX_WIDTH).
     InvalidAtomicity(u32),
+    /// A plain or packed write carried a value wider than its destination
+    /// register. Such a write is a bug in the issuing algorithm (or a
+    /// deliberately bounded simulation overflowing, like the bakery's
+    /// tickets), so it surfaces as a structured error instead of being
+    /// silently truncated.
+    ValueTooWide {
+        /// The register being written.
+        register: RegisterId,
+        /// The register's width.
+        width: u32,
+        /// The over-wide value.
+        value: Value,
+    },
 }
 
 impl fmt::Display for MemoryError {
@@ -130,6 +144,15 @@ impl fmt::Display for MemoryError {
                 write!(f, "register {register} is not a field of word {word}")
             }
             MemoryError::InvalidAtomicity(l) => write!(f, "invalid atomicity {l}"),
+            MemoryError::ValueTooWide {
+                register,
+                width,
+                value,
+            } => write!(
+                f,
+                "value {} does not fit register {register} of width {width}",
+                value.raw()
+            ),
         }
     }
 }

@@ -67,6 +67,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bitop;
+mod codec;
 mod error;
 mod exec;
 mod fault;
@@ -83,6 +84,7 @@ mod trace;
 mod value;
 
 pub use bitop::BitOp;
+pub use codec::{LayoutCodec, StateCodec, StateReader, StateWriter};
 pub use error::{ExecError, LayoutError, MemoryError};
 pub use exec::{run_schedule, run_sequential, run_solo, ExecConfig, Executor, Outcome, Status};
 pub use fault::FaultPlan;

@@ -131,9 +131,12 @@ impl Memory {
     /// # Errors
     ///
     /// Returns an error if the operation names an unknown register or word,
-    /// applies a bit operation to a wide register, or writes a field outside
-    /// its word. Width violations against the atomicity cannot occur here —
-    /// they are ruled out at construction.
+    /// applies a bit operation to a wide register, writes a field outside
+    /// its word, or writes a value wider than its destination register
+    /// ([`MemoryError::ValueTooWide`] — a real step never silently
+    /// truncates; [`Memory::poke`], the test/setup hook, masks instead).
+    /// Width violations against the atomicity cannot occur here — they are
+    /// ruled out at construction.
     pub fn apply(&mut self, op: &Op) -> Result<OpResult, MemoryError> {
         match op {
             Op::Read(r) => {
@@ -146,7 +149,14 @@ impl Memory {
                     .get(*r)
                     .ok_or(MemoryError::UnknownRegister(*r))?
                     .width();
-                self.values[r.index()] = v.masked(width);
+                if !v.fits(width) {
+                    return Err(MemoryError::ValueTooWide {
+                        register: *r,
+                        width,
+                        value: *v,
+                    });
+                }
+                self.values[r.index()] = *v;
                 Ok(OpResult::None)
             }
             Op::Bit(r, bop) => self.apply_bit(*r, *bop),
@@ -170,7 +180,16 @@ impl Memory {
                 }
                 for &(r, v) in fields {
                     let width = self.layout.width(r);
-                    self.values[r.index()] = v.masked(width);
+                    if !v.fits(width) {
+                        return Err(MemoryError::ValueTooWide {
+                            register: r,
+                            width,
+                            value: v,
+                        });
+                    }
+                }
+                for &(r, v) in fields {
+                    self.values[r.index()] = v;
                 }
                 Ok(OpResult::None)
             }
@@ -296,12 +315,43 @@ mod tests {
     }
 
     #[test]
-    fn writes_mask_to_width() {
+    fn over_wide_writes_are_structured_errors() {
+        // A plain write that exceeds the register width must surface as
+        // `ValueTooWide` with the register untouched — not be silently
+        // masked (the historical behavior, which hid real overflow bugs
+        // like the bakery's bounded tickets behind truncated values).
         let mut layout = Layout::new();
         let x = layout.register("x", 2, 0);
         let mut m = Memory::new(layout, 2).unwrap();
-        m.apply(&Op::Write(x, Value::new(0b111))).unwrap();
+        let err = m.apply(&Op::Write(x, Value::new(0b111))).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryError::ValueTooWide {
+                register: x,
+                width: 2,
+                value: Value::new(0b111),
+            }
+        );
+        assert_eq!(m.get(x), Value::ZERO, "failed writes must not land");
+        // `poke`, the test/setup hook, still masks.
+        m.poke(x, Value::new(0b111));
         assert_eq!(m.get(x), Value::new(0b11));
+    }
+
+    #[test]
+    fn over_wide_packed_writes_are_rejected_atomically() {
+        let mut layout = Layout::new();
+        let x = layout.register("x", 4, 0);
+        let y = layout.register("y", 2, 0);
+        let w = layout.pack(&[x, y]).unwrap();
+        let mut m = Memory::new(layout, 8).unwrap();
+        let err = m
+            .apply(&Op::WriteWord(w, vec![(x, Value::new(5)), (y, Value::new(7))]))
+            .unwrap_err();
+        assert!(matches!(err, MemoryError::ValueTooWide { register, .. } if register == y));
+        // No field of the failed word write may land.
+        assert_eq!(m.get(x), Value::ZERO);
+        assert_eq!(m.get(y), Value::ZERO);
     }
 
     #[test]

@@ -12,8 +12,12 @@ pub const MAX_WIDTH: u32 = 63;
 ///
 /// A `Value` is an unsigned integer; the register's declared width
 /// determines how many low bits are significant. [`Memory`](crate::Memory)
-/// masks every value on write, so a stored `Value` never exceeds its
-/// register's width.
+/// rejects any write whose value exceeds its register's width (a
+/// structured [`MemoryError::ValueTooWide`](crate::MemoryError) — never a
+/// silent truncation), and the test/setup hook
+/// [`Memory::poke`](crate::Memory::poke) masks, so a *stored* `Value`
+/// never exceeds its register's width — the invariant the bit-packed
+/// state codec ([`crate::LayoutCodec`]) relies on.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Value(u64);
 

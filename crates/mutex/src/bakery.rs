@@ -21,12 +21,18 @@
 //! ```
 //!
 //! Real bakery tickets are unbounded; this simulation bounds them at
-//! `2^TICKET_WIDTH − 1` and panics on overflow (reachable only under
-//! sustained contention far beyond what the tests run).
+//! `2^TICKET_WIDTH − 1`. On overflow the over-wide ticket write surfaces
+//! as a structured [`cfc_core::MemoryError::ValueTooWide`] through
+//! whichever executor or checker ran the step — never a panic, and never
+//! a silent truncation (reachable only under sustained contention far
+//! beyond what the tests run).
 
 use std::sync::Arc;
 
-use cfc_core::{Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, Step, SymmetryGroup, Value};
+use cfc_core::{
+    Layout, Op, OpResult, ProcessId, RegisterId, RegisterSet, StateReader, StateWriter, Step,
+    SymmetryGroup, Value,
+};
 
 use crate::algorithm::{LockProcess, MutexAlgorithm, StateNormalizer};
 use crate::mutation::BakeryMutation;
@@ -291,11 +297,10 @@ impl LockProcess for BakeryLock {
                 if j + 1 < self.n() {
                     Pc::ScanMax(j + 1)
                 } else {
+                    // May exceed the ticket bound; the WriteNumber step
+                    // then fails with a structured
+                    // `MemoryError::ValueTooWide` instead of panicking.
                     self.my_number = self.max_seen + 1;
-                    assert!(
-                        Value::new(self.my_number).fits(TICKET_WIDTH),
-                        "bakery ticket overflow (bounded simulation)"
-                    );
                     Pc::WriteNumber
                 }
             }
@@ -344,6 +349,61 @@ impl LockProcess for BakeryLock {
     fn protocol_footprint(&self, out: &mut RegisterSet) -> bool {
         out.extend(self.choosing.iter().copied());
         out.extend(self.number.iter().copied());
+        true
+    }
+
+    // Packed-store encoding: identity (16) + pc tag (4) + pc arg (16) +
+    // max_seen (17) + my_number (17) = 70 bits per lock. Tickets use
+    // `TICKET_WIDTH + 1` bits because `my_number = max_seen + 1` can
+    // transiently hold `2^TICKET_WIDTH` in the state *before* the
+    // over-wide `WriteNumber` step errors out.
+    fn pack_lock(&self, w: &mut StateWriter) -> bool {
+        if self.mutation.is_some() {
+            // Mutants are test-only fixtures; let them fall back to the
+            // interned store rather than model their perturbed state here.
+            return false;
+        }
+        let (tag, arg) = match self.pc {
+            Pc::Idle => (0u64, 0u64),
+            Pc::WriteChoosing1 => (1, 0),
+            Pc::ScanMax(j) => (2, u64::from(j)),
+            Pc::WriteNumber => (3, 0),
+            Pc::WriteChoosing0 => (4, 0),
+            Pc::WaitChoosing(j) => (5, u64::from(j)),
+            Pc::WaitNumber(j) => (6, u64::from(j)),
+            Pc::EntryDone => (7, 0),
+            Pc::ExitWriteNumber => (8, 0),
+            Pc::ExitDone => (9, 0),
+        };
+        w.push_bits(u64::from(self.me), 16);
+        w.push_bits(tag, 4);
+        w.push_bits(arg, 16);
+        w.push_bits(self.max_seen, TICKET_WIDTH + 1);
+        w.push_bits(self.my_number, TICKET_WIDTH + 1);
+        true
+    }
+
+    fn unpack_lock(&mut self, r: &mut StateReader<'_>) -> bool {
+        if self.mutation.is_some() {
+            return false;
+        }
+        self.me = r.take_bits(16) as u32;
+        let tag = r.take_bits(4);
+        let arg = r.take_bits(16) as u32;
+        self.pc = match tag {
+            0 => Pc::Idle,
+            1 => Pc::WriteChoosing1,
+            2 => Pc::ScanMax(arg),
+            3 => Pc::WriteNumber,
+            4 => Pc::WriteChoosing0,
+            5 => Pc::WaitChoosing(arg),
+            6 => Pc::WaitNumber(arg),
+            7 => Pc::EntryDone,
+            8 => Pc::ExitWriteNumber,
+            _ => Pc::ExitDone,
+        };
+        self.max_seen = r.take_bits(TICKET_WIDTH + 1);
+        self.my_number = r.take_bits(TICKET_WIDTH + 1);
         true
     }
 }
@@ -459,6 +519,66 @@ mod tests {
         clients[1].lock_mut().max_seen = 1;
         norm(&mut clients, &mut values);
         assert_eq!(clients[1].lock().max_seen, 1);
+    }
+
+    #[test]
+    fn ticket_overflow_is_a_structured_error() {
+        use cfc_core::{ExecError, MemoryError};
+        let alg = Bakery::new(2);
+        // Drive client 0 to the ticket write with a ticket one past the
+        // bound — exactly the state a saturated scan produces. The write
+        // must fail with a structured error, not panic or truncate.
+        let mut client = alg.client(ProcessId::new(0), 1);
+        client.lock_mut().pc = Pc::WriteNumber;
+        client.lock_mut().my_number = 1 << TICKET_WIDTH;
+        let mut exec = cfc_core::Executor::new(alg.memory().unwrap(), vec![client]);
+        let err = exec.step_process(ProcessId::new(0)).unwrap_err();
+        match err {
+            ExecError::Memory(MemoryError::ValueTooWide { register, width, value }) => {
+                assert_eq!(register, alg.number[0]);
+                assert_eq!(width, TICKET_WIDTH);
+                assert_eq!(value, Value::new(1 << TICKET_WIDTH));
+            }
+            other => panic!("expected ValueTooWide, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflowing_scan_reaches_the_failing_write() {
+        // A scan over a saturated peer ticket computes max + 1 without
+        // panicking; the overflow only surfaces at the write itself.
+        let alg = Bakery::new(2);
+        let mut client = alg.client(ProcessId::new(0), 1);
+        client.lock_mut().pc = Pc::ScanMax(1);
+        client.lock_mut().max_seen = (1 << TICKET_WIDTH) - 1;
+        client.advance(OpResult::Value(Value::ZERO));
+        assert_eq!(client.lock().pc, Pc::WriteNumber);
+        assert_eq!(client.lock().my_number, 1 << TICKET_WIDTH);
+    }
+
+    #[test]
+    fn pack_round_trips_onto_any_participant() {
+        let alg = Bakery::new(3);
+        let mut client = alg.client_cycling(ProcessId::new(2), 1);
+        client.lock_mut().pc = Pc::WaitNumber(1);
+        client.lock_mut().my_number = 5;
+        client.lock_mut().max_seen = 4;
+        let mut w = StateWriter::new();
+        assert!(cfc_core::Process::pack_state(&client, &mut w));
+        let bytes = w.finish();
+        // Restore onto a clone of a *different* participant: identity is
+        // part of the packed payload.
+        let mut restored = alg.client_cycling(ProcessId::new(0), 1);
+        let mut r = StateReader::new(&bytes);
+        assert!(cfc_core::Process::unpack_state(&mut restored, &mut r));
+        assert_eq!(restored, client);
+        // Mutants decline packing and fall back to interning.
+        let mutant = Bakery::new(2).with_mutation(crate::mutation::BakeryMutation::SkipExitReset);
+        let mut w = StateWriter::new();
+        assert!(!cfc_core::Process::pack_state(
+            &mutant.client(ProcessId::new(0), 1),
+            &mut w
+        ));
     }
 
     #[test]

@@ -90,14 +90,22 @@ use std::hash::Hash;
 use cfc_core::{Memory, OpResult, Process, ProcessId, Status, Step, SymmetryGroup, Value};
 
 use crate::graph::{
-    canonicalize, expand_step, full_hash, AmpleMode, Engine, GraphBuilder, Node, Order,
-    TraversalSpec,
+    canonicalize, expand_step, full_hash, AmpleMode, Engine, GraphBuilder, BuiltGraph, Node,
+    Order, TraversalSpec,
 };
+use crate::store::StoreMode;
 
 /// Limits and reduction switches for an exploration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExploreConfig {
     /// Abort after visiting this many distinct (canonical) states.
+    ///
+    /// The budget is **inclusive** for every driver (safety DFS, progress
+    /// BFS, liveness builder): a search whose reachable canonical state
+    /// count is exactly `max_states` completes, and the first state
+    /// beyond it aborts with [`ExploreError::StateBudget`] carrying
+    /// `max_states + 1` — the count at the moment the budget broke, not
+    /// however far an expansion batch happened to overshoot.
     pub max_states: usize,
     /// How many crash transitions the adversary may inject in one run.
     pub max_crashes: u32,
@@ -108,6 +116,19 @@ pub struct ExploreConfig {
     /// Enable symmetry reduction: canonicalize visited-state keys under
     /// the system's [`SymmetryGroup`]. A no-op under the trivial group.
     pub symmetry: bool,
+    /// How visited states are stored: [`StoreMode::Packed`] (the
+    /// default) interns one bit-packed record per canonical state in an
+    /// append-only arena; [`StoreMode::Boxed`] keeps the historical
+    /// boxed-`Node` representation and exists for differential testing.
+    /// Both modes make byte-identical search decisions — the packed
+    /// codec round-trips states exactly, so freshness answers (and
+    /// therefore search order, counts, and schedules) never differ.
+    pub store: StoreMode,
+    /// Resident-memory budget (in bytes) for the packed visited arena;
+    /// when the resident segments exceed it, cold segments spill to a
+    /// temporary file and are read back on demand. `None` (the default)
+    /// never spills. Ignored in [`StoreMode::Boxed`].
+    pub spill_budget_bytes: Option<usize>,
 }
 
 impl Default for ExploreConfig {
@@ -117,6 +138,8 @@ impl Default for ExploreConfig {
             max_crashes: 0,
             por: false,
             symmetry: false,
+            store: StoreMode::Packed,
+            spill_budget_bytes: None,
         }
     }
 }
@@ -144,6 +167,21 @@ impl ExploreConfig {
         self.max_crashes = max_crashes;
         self
     }
+
+    /// Replaces the visited-store backend.
+    #[must_use]
+    pub fn with_store(mut self, store: StoreMode) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Sets the resident-memory budget that triggers spilling of cold
+    /// visited-arena segments (packed store only).
+    #[must_use]
+    pub fn with_spill_budget(mut self, bytes: usize) -> Self {
+        self.spill_budget_bytes = Some(bytes);
+        self
+    }
 }
 
 /// Statistics of a completed exploration.
@@ -164,8 +202,17 @@ pub struct ExploreStats {
     /// States skipped because a *different* member of their symmetry
     /// orbit had already been explored (plain revisits of the same
     /// concrete state are not merges — they are deduplicated by the
-    /// baseline too).
+    /// baseline too). Counted by **exact** comparison against the stored
+    /// first visitor, so a hash collision can never miscount a merge.
     pub orbits_merged: u64,
+    /// Bytes of canonical state payload held by the visited store at the
+    /// end of the search: exact arena bytes under [`StoreMode::Packed`],
+    /// an estimated per-node heap footprint times the state count under
+    /// [`StoreMode::Boxed`] — comparable across backends.
+    pub arena_bytes: u64,
+    /// Visited-arena segments written to the spill tier (0 unless
+    /// [`ExploreConfig::spill_budget_bytes`] forced cold segments out).
+    pub spilled_buckets: u64,
 }
 
 /// One scheduling decision on a violating path.
@@ -360,6 +407,8 @@ where
         terminals: t.terminals,
         states_pruned_por: t.states_pruned_por,
         orbits_merged: t.orbits_merged,
+        arena_bytes: t.arena_bytes,
+        spilled_buckets: t.spilled_buckets,
     })
 }
 
@@ -380,6 +429,11 @@ pub struct ProgressStats {
     /// symmetry orbit that differs from them as a concrete state (plain
     /// revisits of the canonical representative are not merges).
     pub orbits_merged: u64,
+    /// Bytes of canonical state payload held by the graph's node store
+    /// (see [`ExploreStats::arena_bytes`]).
+    pub arena_bytes: u64,
+    /// Node-store arena segments written to the spill tier.
+    pub spilled_buckets: u64,
 }
 
 /// Exhaustively verifies *possibility of progress* under the trivial
@@ -469,10 +523,12 @@ where
         terminals: t.terminals,
         states_pruned_por: t.states_pruned_por,
         orbits_merged: t.orbits_merged,
+        arena_bytes: t.arena_bytes,
+        spilled_buckets: t.spilled_buckets,
     };
 
     // Back-propagate reachability of quiescence over reversed edges.
-    let states = g.nodes.len();
+    let states = g.len();
     let rev_edges = g.reversed_edges();
     let mut can_finish = g.terminal.clone();
     let mut work: Vec<usize> = (0..states).filter(|&i| g.terminal[i]).collect();
@@ -488,8 +544,7 @@ where
     if let Some(stuck) = (0..states).find(|&i| !can_finish[i]) {
         let stuck_count = can_finish.iter().filter(|c| !**c).count();
         let engine = builder.engine();
-        let schedule =
-            recover_schedule(engine, engine.root(procs), stuck, &g.nodes, &g.first_pred)?;
+        let schedule = recover_schedule(engine, engine.root(procs), stuck, &g)?;
         return Err(ExploreError::Violation(Box::new(Violation {
             schedule,
             message: format!(
@@ -518,13 +573,12 @@ fn recover_schedule<P: Process + Clone + Eq + Hash>(
     engine: &Engine<P>,
     root: Node<P>,
     stuck: usize,
-    nodes: &[Node<P>],
-    first_pred: &[u32],
+    g: &BuiltGraph<P>,
 ) -> Result<Vec<ScheduleStep>, ExploreError> {
     let mut path: Vec<usize> = vec![stuck];
     while *path.last().expect("path is nonempty") != 0 {
         let id = *path.last().expect("path is nonempty");
-        path.push(first_pred[id] as usize);
+        path.push(g.first_pred[id] as usize);
     }
     path.reverse();
 
@@ -532,7 +586,7 @@ fn recover_schedule<P: Process + Clone + Eq + Hash>(
     let mut cur = root;
     let mut schedule = Vec::with_capacity(path.len() - 1);
     for &next in &path[1..] {
-        let target = &nodes[next];
+        let target = &g.node(next as u32);
         let mut found = None;
         for i in (0..n).filter(|&i| cur.status[i] == Status::Running) {
             let succ = expand_step(&cur, i, engine.template())?;
@@ -987,6 +1041,72 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ExploreError::StateBudget(_)));
+    }
+
+    /// The budget is inclusive for the DFS: a budget of exactly the
+    /// reachable state count completes, one less fails — reporting
+    /// exactly `budget + 1`, the count at the moment the budget broke.
+    #[test]
+    fn dfs_budget_boundary_is_inclusive() {
+        let (memory, procs) = incr_system();
+        let exact = explore(
+            memory.clone(),
+            procs.clone(),
+            ExploreConfig::default(),
+            |_| Ok(()),
+            |_| Ok(()),
+        )
+        .unwrap()
+        .states;
+        let at = explore(
+            memory.clone(),
+            procs.clone(),
+            ExploreConfig::default().with_max_states(exact),
+            |_| Ok(()),
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(at.states, exact);
+        let err = explore(
+            memory,
+            procs,
+            ExploreConfig::default().with_max_states(exact - 1),
+            |_| Ok(()),
+            |_| Ok(()),
+        )
+        .unwrap_err();
+        match err {
+            ExploreError::StateBudget(n) => assert_eq!(n, exact),
+            other => panic!("expected StateBudget, got {other:?}"),
+        }
+    }
+
+    /// The same inclusive boundary for the BFS progress checker: the
+    /// overflow is detected at the intern that breaks the budget, not
+    /// after a whole expansion batch overshoots.
+    #[test]
+    fn bfs_budget_boundary_is_inclusive() {
+        let (memory, procs) = incr_system();
+        let exact = check_progress(memory.clone(), procs.clone(), ExploreConfig::default())
+            .unwrap()
+            .states;
+        let at = check_progress(
+            memory.clone(),
+            procs.clone(),
+            ExploreConfig::default().with_max_states(exact),
+        )
+        .unwrap();
+        assert_eq!(at.states, exact);
+        let err = check_progress(
+            memory,
+            procs,
+            ExploreConfig::default().with_max_states(exact - 1),
+        )
+        .unwrap_err();
+        match err {
+            ExploreError::StateBudget(n) => assert_eq!(n, exact),
+            other => panic!("expected StateBudget, got {other:?}"),
+        }
     }
 
     #[test]

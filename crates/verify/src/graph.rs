@@ -31,8 +31,8 @@
 //!   reduction bookkeeping live here exactly once.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::rc::Rc;
 
 use cfc_core::{
     Footprint, Memory, OpResult, Process, ProcessId, RegisterSet, Status, Step, SymmetryGroup,
@@ -40,6 +40,7 @@ use cfc_core::{
 };
 
 use crate::explore::{ExploreConfig, ExploreError, ScheduleStep, StateView, Violation};
+use crate::store::{NodeStore, StoreMode, VisitOutcome};
 
 /// A global state of the explored system.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -524,11 +525,13 @@ pub(crate) struct GEdge {
 }
 
 /// The canonical state graph a BFS traversal produces: one interned
-/// representative per orbit, labeled forward edges (when recorded), the
-/// creator tree, and terminal flags.
+/// representative per orbit (held packed in the [`NodeStore`]), labeled
+/// forward edges (when recorded), the creator tree, and terminal flags.
 pub(crate) struct BuiltGraph<P> {
-    /// Canonical orbit representatives, in discovery (BFS) order.
-    pub(crate) nodes: Vec<Node<P>>,
+    /// Canonical orbit representatives in discovery (BFS) order, one
+    /// single-copy record per orbit; decode on demand via
+    /// [`BuiltGraph::node`].
+    pub(crate) store: NodeStore<P>,
     /// Labeled forward edges per node; all empty unless
     /// [`TraversalSpec::record_edges`] was set.
     pub(crate) edges: Vec<Vec<GEdge>>,
@@ -542,12 +545,17 @@ pub(crate) struct BuiltGraph<P> {
 }
 
 impl<P> BuiltGraph<P> {
+    /// The number of interned nodes.
+    pub(crate) fn len(&self) -> usize {
+        self.edges.len()
+    }
+
     /// The reversed adjacency of the recorded forward edges, in the exact
     /// order the historical progress checker accumulated its reversed
     /// edges: predecessors appear in discovery order, and the first
     /// predecessor of every non-root node is its creator.
     pub(crate) fn reversed_edges(&self) -> Vec<Vec<u32>> {
-        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); self.edges.len()];
         for (from, edges) in self.edges.iter().enumerate() {
             for e in edges {
                 rev[e.to as usize].push(from as u32);
@@ -557,10 +565,18 @@ impl<P> BuiltGraph<P> {
     }
 }
 
+impl<P: Process + Clone + Eq + Hash> BuiltGraph<P> {
+    /// Decodes node `id` out of the store (an owned copy; the packed
+    /// backend materializes states transiently).
+    pub(crate) fn node(&self, id: u32) -> Node<P> {
+        self.store.node(id)
+    }
+}
+
 impl<P> std::fmt::Debug for BuiltGraph<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BuiltGraph")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.edges.len())
             .field("edges", &self.edges.iter().map(Vec::len).sum::<usize>())
             .finish()
     }
@@ -576,6 +592,46 @@ pub(crate) struct TraversalStats {
     pub(crate) terminals: usize,
     pub(crate) states_pruned_por: u64,
     pub(crate) orbits_merged: u64,
+    /// Bytes of canonical state payload held by the visited store (exact
+    /// in packed mode, an estimated equivalent in boxed mode).
+    pub(crate) arena_bytes: u64,
+    /// Arena segments written to the spill tier.
+    pub(crate) spilled_buckets: u64,
+}
+
+/// One link of a DFS schedule, shared structurally between stack entries:
+/// the historical per-entry `Vec<ScheduleStep>` clone cost O(depth) per
+/// *pushed successor* (O(depth²) memory across one expansion chain); a
+/// parent pointer costs O(1) and materializes only on violation.
+struct PathLink {
+    step: ScheduleStep,
+    parent: Option<Rc<PathLink>>,
+}
+
+impl Drop for PathLink {
+    // Unlink iteratively: the default recursive drop would overflow the
+    // call stack on search paths millions of steps deep.
+    fn drop(&mut self) {
+        let mut cur = self.parent.take();
+        while let Some(rc) = cur {
+            match Rc::try_unwrap(rc) {
+                Ok(mut link) => cur = link.parent.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Materializes the schedule a path link encodes, root-first.
+fn materialize_path(link: &Option<Rc<PathLink>>) -> Vec<ScheduleStep> {
+    let mut out = Vec::new();
+    let mut cur = link.as_deref();
+    while let Some(l) = cur {
+        out.push(l.step);
+        cur = l.parent.as_deref();
+    }
+    out.reverse();
+    out
 }
 
 /// The unified traversal driver: an [`Engine`] plus a [`TraversalSpec`],
@@ -585,6 +641,8 @@ pub(crate) struct GraphBuilder<'a, P> {
     engine: Engine<P>,
     spec: TraversalSpec<'a, P>,
     max_states: usize,
+    store_mode: StoreMode,
+    spill_budget: Option<usize>,
 }
 
 impl<P> std::fmt::Debug for GraphBuilder<'_, P> {
@@ -592,6 +650,7 @@ impl<P> std::fmt::Debug for GraphBuilder<'_, P> {
         f.debug_struct("GraphBuilder")
             .field("spec", &self.spec)
             .field("max_states", &self.max_states)
+            .field("store_mode", &self.store_mode)
             .finish()
     }
 }
@@ -624,6 +683,8 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             engine,
             spec,
             max_states: config.max_states,
+            store_mode: config.store,
+            spill_budget: config.spill_budget_bytes,
         }
     }
 
@@ -672,34 +733,39 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         let mut root = engine.root(procs);
         Self::normalize(normalizer, &mut root);
 
-        // Visited canonical states, each keyed with the hash of the
+        // Visited canonical states, held single-copy in the packed store.
+        // With symmetry on, each entry also tracks the identity of the
         // concrete state that first reached it — that lets the
         // orbit-merge counter tell a merge with a permuted sibling apart
-        // from a plain revisit.
-        let mut visited: HashMap<Node<P>, u64> = HashMap::new();
+        // from a plain revisit, by exact comparison (a hash could
+        // collide and miscount).
+        let mut visited: NodeStore<P> = NodeStore::new(
+            self.store_mode,
+            self.spill_budget,
+            engine.template().layout(),
+            &root,
+            engine.use_sym(),
+        );
         let mut stats = TraversalStats::default();
-        // DFS stack: (node, schedule-so-far). The schedule is stored per
-        // node to report violating paths; for small systems this is
-        // affordable.
-        let mut stack: Vec<(Node<P>, Vec<ScheduleStep>)> = vec![(root, Vec::new())];
+        // DFS stack: (node, schedule-so-far). Schedules share structure
+        // through parent links — one O(1) link per pushed successor —
+        // and are materialized only to report a violation.
+        let mut stack: Vec<(Node<P>, Option<Rc<PathLink>>)> = vec![(root, None)];
 
         while let Some((node, path)) = stack.pop() {
-            if engine.use_sym() {
+            let outcome = if engine.use_sym() {
                 let canon = engine.canonical_of(&node);
-                let node_hash = full_hash(&node);
-                match visited.get(&canon) {
-                    Some(&first) => {
-                        if first != node_hash {
-                            stats.orbits_merged += 1;
-                        }
-                        continue;
-                    }
-                    None => {
-                        visited.insert(canon, node_hash);
-                    }
+                visited.visit(&canon, Some(&node))
+            } else {
+                visited.visit(&node, None)
+            };
+            match outcome {
+                VisitOutcome::Fresh => {}
+                VisitOutcome::RevisitSame => continue,
+                VisitOutcome::RevisitMerged => {
+                    stats.orbits_merged += 1;
+                    continue;
                 }
-            } else if visited.insert(node.clone(), 0).is_some() {
-                continue;
             }
             stats.states += 1;
             if stats.states > self.max_states {
@@ -714,7 +780,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             };
             if let Err(message) = state_check(&view) {
                 return Err(ExploreError::Violation(Box::new(Violation {
-                    schedule: path,
+                    schedule: materialize_path(&path),
                     message,
                 })));
             }
@@ -725,33 +791,39 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                 stats.terminals += 1;
                 if let Err(message) = terminal_check(&view) {
                     return Err(ExploreError::Violation(Box::new(Violation {
-                        schedule: path,
+                        schedule: materialize_path(&path),
                         message,
                     })));
                 }
                 continue;
             }
 
-            match engine.expand(&node, &runnable, mode, |key| visited.contains_key(key))? {
+            match engine.expand(&node, &runnable, mode, |key| visited.contains(key))? {
                 Expansion::Ample { pid, mut succ, .. } => {
                     stats.states_pruned_por += runnable.len() as u64 - 1;
                     stats.transitions += 1;
                     Self::normalize(normalizer, &mut succ);
-                    let mut next_path = path;
-                    next_path.push(ScheduleStep::Step(pid));
-                    stack.push((succ, next_path));
+                    let link = Rc::new(PathLink {
+                        step: ScheduleStep::Step(pid),
+                        parent: path,
+                    });
+                    stack.push((succ, Some(link)));
                 }
                 Expansion::Full(succs) => {
                     for (step, mut succ) in succs {
                         stats.transitions += 1;
                         Self::normalize(normalizer, &mut succ);
-                        let mut next_path = path.clone();
-                        next_path.push(step);
-                        stack.push((succ, next_path));
+                        let link = Rc::new(PathLink {
+                            step,
+                            parent: path.clone(),
+                        });
+                        stack.push((succ, Some(link)));
                     }
                 }
             }
         }
+        stats.arena_bytes = visited.arena_bytes();
+        stats.spilled_buckets = visited.spilled_buckets();
         Ok(stats)
     }
 
@@ -783,22 +855,32 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         Self::normalize(normalizer, &mut root);
         let root_canon = engine.canonical_of(&root);
 
+        let mut store: NodeStore<P> = NodeStore::new(
+            self.store_mode,
+            self.spill_budget,
+            engine.template().layout(),
+            &root_canon,
+            false,
+        );
+        let (root_id, root_fresh) = store.intern(root_canon);
+        debug_assert!(root_fresh && root_id == 0, "the root interns first");
         let mut g = BuiltGraph {
-            nodes: vec![root_canon],
+            store,
             edges: vec![Vec::new()],
             first_pred: vec![u32::MAX],
             terminal: vec![false],
         };
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        buckets.entry(full_hash(&g.nodes[0])).or_default().push(0);
+        // The budget is inclusive: a graph of exactly `max_states` nodes
+        // completes; the first intern beyond it aborts immediately.
+        if g.store.len() > self.max_states {
+            return Err(ExploreError::StateBudget(g.store.len()));
+        }
 
         let mut cursor = 0usize;
-        while cursor < g.nodes.len() {
-            if g.nodes.len() > self.max_states {
-                return Err(ExploreError::StateBudget(g.nodes.len()));
-            }
+        while cursor < g.store.len() {
+            let current = g.store.node(cursor as u32);
             let runnable: Vec<usize> = (0..n)
-                .filter(|&i| g.nodes[cursor].status[i].runnable())
+                .filter(|&i| current.status[i].runnable())
                 .collect();
             if runnable.is_empty() {
                 g.terminal[cursor] = true;
@@ -806,11 +888,8 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                 cursor += 1;
                 continue;
             }
-            let expansion = engine.expand(&g.nodes[cursor], &runnable, mode, |key| {
-                buckets
-                    .get(&full_hash(key))
-                    .is_some_and(|b| b.iter().any(|&id| g.nodes[id as usize] == *key))
-            })?;
+            let expansion =
+                engine.expand(&current, &runnable, mode, |key| g.store.contains(key))?;
             // Successors paired with their canonical form, when the ample
             // selection already computed it for the fresh-successor
             // proviso. (The ample path precomputes it only when no
@@ -836,10 +915,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                     };
                     let served = !crash
                         && served_hook.is_some_and(|f| {
-                            f(
-                                &g.nodes[cursor].procs[pid as usize],
-                                &succ.procs[pid as usize],
-                            )
+                            f(&current.procs[pid as usize], &succ.procs[pid as usize])
                         });
                     (pid, crash, served)
                 });
@@ -855,28 +931,17 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                     }
                     None => (succ, false),
                 };
-                let bucket = buckets.entry(full_hash(&canon)).or_default();
-                let to = match bucket
-                    .iter()
-                    .copied()
-                    .find(|&id| g.nodes[id as usize] == canon)
-                {
-                    Some(id) => {
-                        if permuted {
-                            stats.orbits_merged += 1;
-                        }
-                        id
+                let (to, fresh) = g.store.intern(canon);
+                if fresh {
+                    g.edges.push(Vec::new());
+                    g.first_pred.push(cursor as u32);
+                    g.terminal.push(false);
+                    if g.store.len() > self.max_states {
+                        return Err(ExploreError::StateBudget(g.store.len()));
                     }
-                    None => {
-                        let id = g.nodes.len() as u32;
-                        bucket.push(id);
-                        g.nodes.push(canon);
-                        g.edges.push(Vec::new());
-                        g.first_pred.push(cursor as u32);
-                        g.terminal.push(false);
-                        id
-                    }
-                };
+                } else if permuted {
+                    stats.orbits_merged += 1;
+                }
                 if let Some((pid, crash, served)) = label {
                     g.edges[cursor].push(GEdge {
                         to,
@@ -888,7 +953,9 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             }
             cursor += 1;
         }
-        stats.states = g.nodes.len();
+        stats.states = g.store.len();
+        stats.arena_bytes = g.store.arena_bytes();
+        stats.spilled_buckets = g.store.spilled_buckets();
         Ok((g, stats))
     }
 }
@@ -999,7 +1066,7 @@ mod tests {
             procs.len(),
         );
         let (g, stats) = builder.build_graph(procs).unwrap();
-        assert_eq!(g.nodes.len(), stats.states);
+        assert_eq!(g.len(), stats.states);
         assert!(g.edges.iter().all(Vec::is_empty));
         assert_eq!(g.first_pred[0], u32::MAX);
         for (id, &pred) in g.first_pred.iter().enumerate().skip(1) {
@@ -1023,7 +1090,7 @@ mod tests {
             procs.len(),
         );
         let (g, _) = builder.build_graph(procs).unwrap();
-        assert_eq!(g.nodes[0].crashes_left, 1, "spec budget wins");
+        assert_eq!(g.node(0).crashes_left, 1, "spec budget wins");
         assert!(
             g.edges.iter().flatten().any(|e| e.crash),
             "crash transitions must be explored"

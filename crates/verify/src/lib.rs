@@ -46,6 +46,7 @@ pub mod explore;
 mod graph;
 pub mod liveness;
 pub mod merge;
+pub mod store;
 pub mod stress;
 
 pub use adversary::{naming_profile, NamingProfile};
@@ -57,6 +58,7 @@ pub use explore::{
     canonical_key, check_progress, check_progress_sym, explore, explore_sym, replay,
     ExploreConfig, ExploreError, ExploreStats, ProgressStats, Replayed, ScheduleStep, Violation,
 };
+pub use store::StoreMode;
 pub use liveness::{
     check_liveness_sym, check_mutex_starvation, check_naming_lockout, validate_bypass,
     validate_lasso, BypassWitness, Lasso, LassoWitness, LivenessReport, LivenessSpec,

@@ -265,6 +265,13 @@ pub struct LivenessStats {
     pub states_pruned_por: u64,
     /// Successors folded into a distinct member of their orbit.
     pub orbits_merged: u64,
+    /// Bytes of canonical state payload across all per-victim node
+    /// stores (see `ExploreStats::arena_bytes` for the backend
+    /// semantics).
+    pub arena_bytes: u64,
+    /// Node-store arena segments written to the spill tier, summed over
+    /// all graphs.
+    pub spilled_buckets: u64,
 }
 
 /// The result of a liveness check: the verdict plus search statistics.
@@ -603,6 +610,8 @@ where
     stats.transitions += t.transitions;
     stats.states_pruned_por += t.states_pruned_por;
     stats.orbits_merged += t.orbits_merged;
+    stats.arena_bytes += t.arena_bytes;
+    stats.spilled_buckets += t.spilled_buckets;
     stats.graphs += 1;
     Ok((builder, graph))
 }
@@ -702,14 +711,16 @@ fn tarjan_sccs(edges: &[Vec<GEdge>], active: &[bool]) -> Vec<Vec<u32>> {
 }
 
 /// Marks the nodes where `victim` is running and pending.
-fn pending_mask<P: Process>(
+fn pending_mask<P: Process + Clone + Eq + Hash>(
     g: &BuiltGraph<P>,
     victim: usize,
     spec: &LivenessSpec<'_, P>,
 ) -> Vec<bool> {
-    g.nodes
-        .iter()
-        .map(|node| node.status[victim].runnable() && (spec.pending)(&node.procs[victim]))
+    (0..g.len())
+        .map(|i| {
+            let node = g.node(i as u32);
+            node.status[victim].runnable() && (spec.pending)(&node.procs[victim])
+        })
         .collect()
 }
 
@@ -730,11 +741,11 @@ fn find_fair_starvation<P>(
     spec: &LivenessSpec<'_, P>,
 ) -> Vec<Vec<u32>>
 where
-    P: Process,
+    P: Process + Clone + Eq + Hash,
 {
     let mut fair = Vec::new();
     let active = pending_mask(g, victim, spec);
-    let mut member = vec![false; g.nodes.len()];
+    let mut member = vec![false; g.len()];
     'sccs: for scc in tarjan_sccs(&g.edges, &active) {
         for &v in &scc {
             member[v as usize] = true;
@@ -743,10 +754,11 @@ where
         // Statuses are constant across an SCC (Done/Crashed absorb, and
         // a crash edge cannot be internal: the crash budget decreases),
         // so the fairness obligation can be read off any member.
-        let running: Vec<u32> = (0..g.nodes[scc[0] as usize].status.len() as u32)
-            .filter(|&q| g.nodes[scc[0] as usize].status[q as usize].runnable())
+        let rep = g.node(scc[0]);
+        let running: Vec<u32> = (0..rep.status.len() as u32)
+            .filter(|&q| rep.status[q as usize].runnable())
             .collect();
-        let mut covered = vec![false; g.nodes[scc[0] as usize].status.len()];
+        let mut covered = vec![false; rep.status.len()];
         let mut nontrivial = scc.len() > 1;
         for &v in &scc {
             for e in &g.edges[v as usize] {
@@ -794,12 +806,11 @@ fn measure_bypass<P>(
     spec: &LivenessSpec<'_, P>,
 ) -> (Option<u64>, Option<BypassPlan>)
 where
-    P: Process,
+    P: Process + Clone + Eq + Hash,
 {
-    let active: Vec<bool> = g
-        .nodes
-        .iter()
-        .map(|node| {
+    let active: Vec<bool> = (0..g.len())
+        .map(|i| {
+            let node = g.node(i as u32);
             node.status[victim].runnable()
                 && (spec.pending)(&node.procs[victim])
                 && (spec.engaged)(&node.procs[victim])
@@ -808,7 +819,7 @@ where
     let weight = |e: &GEdge| u64::from(e.served && !e.crash && e.pid as usize != victim);
 
     let sccs = tarjan_sccs(&g.edges, &active);
-    let mut scc_id = vec![u32::MAX; g.nodes.len()];
+    let mut scc_id = vec![u32::MAX; g.len()];
     for (k, scc) in sccs.iter().enumerate() {
         for &v in scc {
             scc_id[v as usize] = k as u32;
@@ -865,7 +876,7 @@ where
     let mut cur = start;
     while let Some((v, ei)) = choice[k] {
         if cur != v {
-            let mut member = vec![false; g.nodes.len()];
+            let mut member = vec![false; g.len()];
             for &x in &sccs[k] {
                 member[x as usize] = true;
             }
@@ -915,19 +926,13 @@ where
     normalize(&mut cur);
     let mut stem = Vec::with_capacity(stem_ids.len() - 1);
     for &id in &stem_ids[1..] {
-        let (step, next) = derive_step(engine, &cur, &g.nodes[id as usize], None, spec);
+        let (step, next) = derive_step(engine, &cur, &g.node(id), None, spec);
         stem.push(step);
         cur = next;
     }
     let mut overtaking = Vec::with_capacity(plan.hops.len());
     for &(target, hint) in &plan.hops {
-        let (step, next) = derive_step(
-            engine,
-            &cur,
-            &g.nodes[target as usize],
-            Some(hint as usize),
-            spec,
-        );
+        let (step, next) = derive_step(engine, &cur, &g.node(target), Some(hint as usize), spec);
         overtaking.push(step);
         cur = next;
     }
@@ -965,12 +970,13 @@ fn extract_witness<P>(
 where
     P: Process + Clone + Eq + Hash,
 {
-    let mut member = vec![false; g.nodes.len()];
+    let mut member = vec![false; g.len()];
     for &v in scc {
         member[v as usize] = true;
     }
-    let running: Vec<u32> = (0..g.nodes[scc[0] as usize].status.len() as u32)
-        .filter(|&q| g.nodes[scc[0] as usize].status[q as usize].runnable())
+    let rep = g.node(scc[0]);
+    let running: Vec<u32> = (0..rep.status.len() as u32)
+        .filter(|&q| rep.status[q as usize].runnable())
         .collect();
 
     // Representative-level loop: visit one covering edge per running
@@ -1009,7 +1015,7 @@ where
     normalize(&mut cur_node);
     let mut stem = Vec::new();
     for &id in &stem_ids[1..] {
-        let (step, next) = derive_step(engine, &cur_node, &g.nodes[id as usize], None, spec);
+        let (step, next) = derive_step(engine, &cur_node, &g.node(id), None, spec);
         stem.push(step);
         cur_node = next;
     }
@@ -1020,13 +1026,8 @@ where
     let prefix_laps = loop {
         let mut lap = Vec::with_capacity(hops.len());
         for &(target, hint) in &hops {
-            let (step, next) = derive_step(
-                engine,
-                &cur_node,
-                &g.nodes[target as usize],
-                Some(hint as usize),
-                spec,
-            );
+            let (step, next) =
+                derive_step(engine, &cur_node, &g.node(target), Some(hint as usize), spec);
             lap.push(step);
             cur_node = next;
         }

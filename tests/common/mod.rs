@@ -19,6 +19,7 @@ pub fn budget(max_states: usize) -> ExploreConfig {
         max_crashes: 0,
         por: false,
         symmetry: false,
+        ..ExploreConfig::default()
     }
 }
 

@@ -205,3 +205,55 @@ fn exhaustive_unsafe_exit_order_baseline() {
         Err(other) => panic!("unexpected exploration failure: {other}"),
     }
 }
+
+// ---------------------------------------------------------------------
+// Packed-arena scale targets: configurations past the old ~5M-state
+// ceiling, reachable because the visited set stores one bit-packed copy
+// of each canonical state instead of a boxed `Node` per hash-map key.
+// ---------------------------------------------------------------------
+
+#[test]
+#[ignore = "heavy packed-store target (tens of millions of states); run via cargo test --release -- --ignored"]
+fn exhaustive_tournament_seven_packed() {
+    // Seven processes on an unbalanced binary tournament tree — an order
+    // of magnitude past the n=6 instance that defined the old ceiling.
+    // The default packed store is what makes this fit; the assertions pin
+    // both the scale and the per-state footprint the CSV reports.
+    let stats = check_mutex_safety(&Tournament::new(7, 1), 1, por_only(80_000_000)).unwrap();
+    assert!(
+        stats.states > 5_000_000,
+        "expected to clear the old 5M ceiling, visited only {}",
+        stats.states
+    );
+    let bytes_per_state = stats.arena_bytes as f64 / stats.states as f64;
+    assert!(
+        bytes_per_state < 64.0,
+        "packed stride regressed to {bytes_per_state:.1} B/state"
+    );
+}
+
+#[test]
+#[ignore = "heavy spill-path differential (~334k states twice); run via cargo test --release -- --ignored"]
+fn exhaustive_tournament_five_spill_differential() {
+    // The spill-path config CI's exhaustive job runs under a constrained
+    // resident budget: cold arena segments go to the temp-file tier and
+    // are read back for the exact byte comparison, so every count must
+    // match the fully-resident run bit for bit.
+    let resident = check_mutex_safety(&Tournament::new(5, 1), 1, por_only(700_000)).unwrap();
+    let spilled = check_mutex_safety(
+        &Tournament::new(5, 1),
+        1,
+        por_only(700_000).with_spill_budget(2 * 1024 * 1024),
+    )
+    .unwrap();
+    assert_eq!(resident.states, spilled.states);
+    assert_eq!(resident.transitions, spilled.transitions);
+    assert_eq!(resident.terminals, spilled.terminals);
+    assert_eq!(resident.states_pruned_por, spilled.states_pruned_por);
+    assert_eq!(resident.orbits_merged, spilled.orbits_merged);
+    assert!(
+        spilled.spilled_buckets > 0,
+        "a 2 MiB budget must force spilling on a {}-byte arena",
+        resident.arena_bytes
+    );
+}
