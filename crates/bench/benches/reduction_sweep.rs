@@ -60,12 +60,13 @@ fn variants(max_states: usize, max_crashes: u32) -> [(&'static str, ExploreConfi
     ]
 }
 
-/// Mean packed-record footprint, in bytes per stored state.
-fn bytes_per_state(arena_bytes: u64, states: usize) -> String {
+/// Mean per-state footprint — packed records plus digest-index and edge
+/// storage — in bytes per stored state.
+fn bytes_per_state(total_bytes: u64, states: usize) -> String {
     if states == 0 {
         return "-".into();
     }
-    format!("{:.1}", arena_bytes as f64 / states as f64)
+    format!("{:.1}", total_bytes as f64 / states as f64)
 }
 
 fn run(
@@ -103,7 +104,10 @@ fn run(
             stats.terminals.to_string(),
             stats.states_pruned_por.to_string(),
             stats.orbits_merged.to_string(),
-            bytes_per_state(stats.arena_bytes, stats.states),
+            bytes_per_state(
+                stats.arena_bytes + stats.index_bytes + stats.edge_bytes,
+                stats.states,
+            ),
             stats.arena_bytes.to_string(),
             stats.spilled_buckets.to_string(),
             format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
@@ -146,7 +150,10 @@ fn run_progress(
             stats.terminals.to_string(),
             stats.states_pruned_por.to_string(),
             stats.orbits_merged.to_string(),
-            bytes_per_state(stats.arena_bytes, stats.states),
+            bytes_per_state(
+                stats.arena_bytes + stats.index_bytes + stats.edge_bytes,
+                stats.states,
+            ),
             stats.arena_bytes.to_string(),
             stats.spilled_buckets.to_string(),
             format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),

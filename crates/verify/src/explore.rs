@@ -93,7 +93,7 @@ use crate::graph::{
     canonicalize, expand_step, full_hash, AmpleMode, Engine, GraphBuilder, BuiltGraph, Node,
     Order, TraversalSpec,
 };
-use crate::store::StoreMode;
+use crate::store::{IndexMode, StoreMode};
 
 /// Limits and reduction switches for an exploration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,10 +124,19 @@ pub struct ExploreConfig {
     /// codec round-trips states exactly, so freshness answers (and
     /// therefore search order, counts, and schedules) never differ.
     pub store: StoreMode,
-    /// Resident-memory budget (in bytes) for the packed visited arena;
-    /// when the resident segments exceed it, cold segments spill to a
-    /// temporary file and are read back on demand. `None` (the default)
-    /// never spills. Ignored in [`StoreMode::Boxed`].
+    /// Which digest-index structure the packed visited store uses:
+    /// [`IndexMode::Open`] (the default) is a single open-addressed
+    /// `u32` table at ~4–6 B/state; [`IndexMode::Chained`] keeps the
+    /// historical `HashMap` heads + intrusive chain as the differential
+    /// oracle (`tests/index_equiv.rs`). Both resolve lookups by exact
+    /// byte comparison, so search decisions never differ. Ignored in
+    /// [`StoreMode::Boxed`].
+    pub index: IndexMode,
+    /// Resident-memory budget (in bytes) for the packed visited arena
+    /// and the recorded edge arena; when the resident segments exceed
+    /// it, cold segments spill to a temporary file and are read back on
+    /// demand. `None` (the default) never spills. Ignored in
+    /// [`StoreMode::Boxed`].
     pub spill_budget_bytes: Option<usize>,
 }
 
@@ -139,6 +148,7 @@ impl Default for ExploreConfig {
             por: false,
             symmetry: false,
             store: StoreMode::Packed,
+            index: IndexMode::Open,
             spill_budget_bytes: None,
         }
     }
@@ -172,6 +182,13 @@ impl ExploreConfig {
     #[must_use]
     pub fn with_store(mut self, store: StoreMode) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Replaces the digest-index structure of the packed visited store.
+    #[must_use]
+    pub fn with_index(mut self, index: IndexMode) -> Self {
+        self.index = index;
         self
     }
 
@@ -210,8 +227,17 @@ pub struct ExploreStats {
     /// an estimated per-node heap footprint times the state count under
     /// [`StoreMode::Boxed`] — comparable across backends.
     pub arena_bytes: u64,
-    /// Visited-arena segments written to the spill tier (0 unless
-    /// [`ExploreConfig::spill_budget_bytes`] forced cold segments out).
+    /// Heap bytes held by the visited store's digest index: exact slot
+    /// bytes under [`IndexMode::Open`], comparable estimates for the
+    /// chained oracle and the boxed backend's buckets.
+    pub index_bytes: u64,
+    /// Bytes held by the recorded edge structure (packed CSR payload
+    /// plus offsets). Always 0 for the safety DFS, which records no
+    /// graph.
+    pub edge_bytes: u64,
+    /// Arena segments (state and edge) written to the spill tier (0
+    /// unless [`ExploreConfig::spill_budget_bytes`] forced cold segments
+    /// out).
     pub spilled_buckets: u64,
 }
 
@@ -408,6 +434,8 @@ where
         states_pruned_por: t.states_pruned_por,
         orbits_merged: t.orbits_merged,
         arena_bytes: t.arena_bytes,
+        index_bytes: t.index_bytes,
+        edge_bytes: t.edge_bytes,
         spilled_buckets: t.spilled_buckets,
     })
 }
@@ -432,7 +460,13 @@ pub struct ProgressStats {
     /// Bytes of canonical state payload held by the graph's node store
     /// (see [`ExploreStats::arena_bytes`]).
     pub arena_bytes: u64,
-    /// Node-store arena segments written to the spill tier.
+    /// Heap bytes held by the node store's digest index (see
+    /// [`ExploreStats::index_bytes`]).
+    pub index_bytes: u64,
+    /// Bytes held by the recorded CSR edge structure (packed edge
+    /// payload plus offsets; see [`ExploreStats::edge_bytes`]).
+    pub edge_bytes: u64,
+    /// Arena segments (state and edge) written to the spill tier.
     pub spilled_buckets: u64,
 }
 
@@ -524,16 +558,19 @@ where
         states_pruned_por: t.states_pruned_por,
         orbits_merged: t.orbits_merged,
         arena_bytes: t.arena_bytes,
+        index_bytes: t.index_bytes,
+        edge_bytes: t.edge_bytes,
         spilled_buckets: t.spilled_buckets,
     };
 
-    // Back-propagate reachability of quiescence over reversed edges.
+    // Back-propagate reachability of quiescence over reversed edges
+    // (memoized CSR: two flat arrays, not a per-call Vec<Vec>).
     let states = g.len();
-    let rev_edges = g.reversed_edges();
+    let rev_edges = g.reversed();
     let mut can_finish = g.terminal.clone();
     let mut work: Vec<usize> = (0..states).filter(|&i| g.terminal[i]).collect();
     while let Some(s) = work.pop() {
-        for &pred in &rev_edges[s] {
+        for &pred in rev_edges.preds(s) {
             if !can_finish[pred as usize] {
                 can_finish[pred as usize] = true;
                 work.push(pred as usize);

@@ -30,6 +30,7 @@
 //!   The interning discipline, crash branching, budget accounting, and
 //!   reduction bookkeeping live here exactly once.
 
+use std::cell::OnceCell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
@@ -39,8 +40,10 @@ use cfc_core::{
     Value,
 };
 
+pub(crate) use crate::csr::GEdge;
+use crate::csr::{EdgeArena, ReversedCsr};
 use crate::explore::{ExploreConfig, ExploreError, ScheduleStep, StateView, Violation};
-use crate::store::{NodeStore, StoreMode, VisitOutcome};
+use crate::store::{IndexMode, NodeStore, StoreMode, VisitOutcome};
 
 /// A global state of the explored system.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -510,31 +513,19 @@ impl<P> std::fmt::Debug for TraversalSpec<'_, P> {
     }
 }
 
-/// One labeled forward edge of a [`BuiltGraph`].
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct GEdge {
-    /// Successor node id.
-    pub(crate) to: u32,
-    /// The process that stepped (or crashed).
-    pub(crate) pid: u32,
-    /// Whether this edge is a crash transition.
-    pub(crate) crash: bool,
-    /// Whether the stepping process received service across this edge
-    /// (per [`TraversalSpec::served`]; always `false` without the hook).
-    pub(crate) served: bool,
-}
-
 /// The canonical state graph a BFS traversal produces: one interned
 /// representative per orbit (held packed in the [`NodeStore`]), labeled
-/// forward edges (when recorded), the creator tree, and terminal flags.
+/// forward edges in CSR form (when recorded), the creator tree, and
+/// terminal flags.
 pub(crate) struct BuiltGraph<P> {
     /// Canonical orbit representatives in discovery (BFS) order, one
     /// single-copy record per orbit; decode on demand via
     /// [`BuiltGraph::node`].
     pub(crate) store: NodeStore<P>,
-    /// Labeled forward edges per node; all empty unless
-    /// [`TraversalSpec::record_edges`] was set.
-    pub(crate) edges: Vec<Vec<GEdge>>,
+    /// Labeled forward edges in CSR form, packed 6 bytes each in a
+    /// spillable arena; empty unless [`TraversalSpec::record_edges`] was
+    /// set.
+    pub(crate) edges: EdgeArena,
     /// The node that first generated each node (`u32::MAX` at the root);
     /// always strictly smaller than its child, so creator chains
     /// terminate at the root — the predecessor tree schedules are
@@ -542,26 +533,24 @@ pub(crate) struct BuiltGraph<P> {
     pub(crate) first_pred: Vec<u32>,
     /// Whether the node is quiescent (no process runnable).
     pub(crate) terminal: Vec<bool>,
+    /// Memoized reversed adjacency (built on first use; the historical
+    /// implementation re-allocated a `Vec<Vec<u32>>` per call, doubling
+    /// peak edge memory every time the progress checker asked).
+    rev: OnceCell<ReversedCsr>,
 }
 
 impl<P> BuiltGraph<P> {
     /// The number of interned nodes.
     pub(crate) fn len(&self) -> usize {
-        self.edges.len()
+        self.first_pred.len()
     }
 
-    /// The reversed adjacency of the recorded forward edges, in the exact
-    /// order the historical progress checker accumulated its reversed
-    /// edges: predecessors appear in discovery order, and the first
-    /// predecessor of every non-root node is its creator.
-    pub(crate) fn reversed_edges(&self) -> Vec<Vec<u32>> {
-        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); self.edges.len()];
-        for (from, edges) in self.edges.iter().enumerate() {
-            for e in edges {
-                rev[e.to as usize].push(from as u32);
-            }
-        }
-        rev
+    /// The reversed adjacency of the recorded forward edges, memoized,
+    /// in the exact order the historical progress checker accumulated
+    /// its reversed edges: predecessors appear in discovery order, and
+    /// the first predecessor of every non-root node is its creator.
+    pub(crate) fn reversed(&self) -> &ReversedCsr {
+        self.rev.get_or_init(|| self.edges.reversed(self.len()))
     }
 }
 
@@ -576,8 +565,8 @@ impl<P: Process + Clone + Eq + Hash> BuiltGraph<P> {
 impl<P> std::fmt::Debug for BuiltGraph<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BuiltGraph")
-            .field("nodes", &self.edges.len())
-            .field("edges", &self.edges.iter().map(Vec::len).sum::<usize>())
+            .field("nodes", &self.len())
+            .field("edges", &self.edges.total_edges())
             .finish()
     }
 }
@@ -595,7 +584,13 @@ pub(crate) struct TraversalStats {
     /// Bytes of canonical state payload held by the visited store (exact
     /// in packed mode, an estimated equivalent in boxed mode).
     pub(crate) arena_bytes: u64,
-    /// Arena segments written to the spill tier.
+    /// Heap bytes held by the digest index (exact for the open table,
+    /// comparable estimates for the chained/boxed structures).
+    pub(crate) index_bytes: u64,
+    /// Bytes held by the CSR edge structure (packed edge payload plus
+    /// offsets); zero for the DFS and for BFS without edge recording.
+    pub(crate) edge_bytes: u64,
+    /// Arena segments (state and edge) written to the spill tier.
     pub(crate) spilled_buckets: u64,
 }
 
@@ -642,6 +637,7 @@ pub(crate) struct GraphBuilder<'a, P> {
     spec: TraversalSpec<'a, P>,
     max_states: usize,
     store_mode: StoreMode,
+    index_mode: IndexMode,
     spill_budget: Option<usize>,
 }
 
@@ -684,6 +680,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             spec,
             max_states: config.max_states,
             store_mode: config.store,
+            index_mode: config.index,
             spill_budget: config.spill_budget_bytes,
         }
     }
@@ -741,6 +738,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         // collide and miscount).
         let mut visited: NodeStore<P> = NodeStore::new(
             self.store_mode,
+            self.index_mode,
             self.spill_budget,
             engine.template().layout(),
             &root,
@@ -823,6 +821,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             }
         }
         stats.arena_bytes = visited.arena_bytes();
+        stats.index_bytes = visited.index_bytes();
         stats.spilled_buckets = visited.spilled_buckets();
         Ok(stats)
     }
@@ -857,6 +856,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
 
         let mut store: NodeStore<P> = NodeStore::new(
             self.store_mode,
+            self.index_mode,
             self.spill_budget,
             engine.template().layout(),
             &root_canon,
@@ -866,9 +866,10 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         debug_assert!(root_fresh && root_id == 0, "the root interns first");
         let mut g = BuiltGraph {
             store,
-            edges: vec![Vec::new()],
+            edges: EdgeArena::new(self.spill_budget),
             first_pred: vec![u32::MAX],
             terminal: vec![false],
+            rev: OnceCell::new(),
         };
         // The budget is inclusive: a graph of exactly `max_states` nodes
         // completes; the first intern beyond it aborts immediately.
@@ -885,6 +886,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             if runnable.is_empty() {
                 g.terminal[cursor] = true;
                 stats.terminals += 1;
+                g.edges.seal();
                 cursor += 1;
                 continue;
             }
@@ -933,7 +935,6 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                 };
                 let (to, fresh) = g.store.intern(canon);
                 if fresh {
-                    g.edges.push(Vec::new());
                     g.first_pred.push(cursor as u32);
                     g.terminal.push(false);
                     if g.store.len() > self.max_states {
@@ -943,7 +944,10 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                     stats.orbits_merged += 1;
                 }
                 if let Some((pid, crash, served)) = label {
-                    g.edges[cursor].push(GEdge {
+                    // The CSR arena appends at its open node, which is
+                    // exactly the cursor: edges are recorded only while
+                    // expanding it, and the seal below closes its range.
+                    g.edges.push(GEdge {
                         to,
                         pid,
                         crash,
@@ -951,11 +955,14 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                     });
                 }
             }
+            g.edges.seal();
             cursor += 1;
         }
         stats.states = g.store.len();
         stats.arena_bytes = g.store.arena_bytes();
-        stats.spilled_buckets = g.store.spilled_buckets();
+        stats.index_bytes = g.store.index_bytes();
+        stats.edge_bytes = g.edges.heap_bytes();
+        stats.spilled_buckets = g.store.spilled_buckets() + g.edges.spilled_segs();
         Ok((g, stats))
     }
 }
@@ -1067,7 +1074,9 @@ mod tests {
         );
         let (g, stats) = builder.build_graph(procs).unwrap();
         assert_eq!(g.len(), stats.states);
-        assert!(g.edges.iter().all(Vec::is_empty));
+        assert_eq!(g.edges.total_edges(), 0);
+        assert_eq!(g.edges.nodes(), g.len(), "every node seals, even edgeless");
+        assert_eq!(stats.edge_bytes, (g.len() as u64 + 1) * 4, "offsets only");
         assert_eq!(g.first_pred[0], u32::MAX);
         for (id, &pred) in g.first_pred.iter().enumerate().skip(1) {
             assert!((pred as usize) < id, "creator ids decrease toward the root");
@@ -1092,7 +1101,7 @@ mod tests {
         let (g, _) = builder.build_graph(procs).unwrap();
         assert_eq!(g.node(0).crashes_left, 1, "spec budget wins");
         assert!(
-            g.edges.iter().flatten().any(|e| e.crash),
+            (0..g.len()).flat_map(|v| g.edges.edges(v)).any(|e| e.crash),
             "crash transitions must be explored"
         );
     }
@@ -1137,7 +1146,41 @@ mod tests {
         let mut builder = GraphBuilder::new(memory, ExploreConfig::default(), s, 1);
         let (g, stats) = builder.build_graph(procs).unwrap();
         assert_eq!(stats.terminals, 1);
-        assert!(g.edges.iter().all(|es| es.len() <= 1));
-        assert!(g.edges.iter().flatten().all(|e| !e.crash));
+        assert!((0..g.len()).all(|v| g.edges.degree(v) <= 1));
+        assert!((0..g.len()).flat_map(|v| g.edges.edges(v)).all(|e| !e.crash));
+    }
+
+    /// The memoized reversal equals a fresh nested-Vec reversal — same
+    /// predecessors, same per-node order — and the creator-first
+    /// invariant progress-schedule reconstruction depends on holds.
+    #[test]
+    fn memoized_reversal_preserves_creator_first_order() {
+        let (memory, procs) = bumper_system(2);
+        let mut s = spec(Order::Bfs, true);
+        s.crash_budget = 1;
+        let mut builder = GraphBuilder::new(
+            memory,
+            ExploreConfig::default().with_max_crashes(1),
+            s,
+            procs.len(),
+        );
+        let (g, _) = builder.build_graph(procs).unwrap();
+        // Nested-Vec reference, the historical implementation.
+        let mut reference: Vec<Vec<u32>> = vec![Vec::new(); g.len()];
+        for v in 0..g.len() {
+            for e in g.edges.edges(v) {
+                reference[e.to as usize].push(v as u32);
+            }
+        }
+        let rev = g.reversed();
+        assert_eq!(rev.len(), g.len());
+        for (v, expect) in reference.iter().enumerate() {
+            assert_eq!(rev.preds(v), expect.as_slice(), "node {v}");
+            if v > 0 && !rev.preds(v).is_empty() {
+                assert_eq!(rev.preds(v)[0], g.first_pred[v], "creator first");
+            }
+        }
+        // Memoized: the second call returns the same allocation.
+        assert!(std::ptr::eq(g.reversed(), rev));
     }
 }

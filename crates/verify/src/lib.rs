@@ -42,8 +42,10 @@
 
 pub mod adversary;
 pub mod checks;
+pub mod csr;
 pub mod explore;
 mod graph;
+pub mod index;
 pub mod liveness;
 pub mod merge;
 pub mod store;
@@ -58,7 +60,8 @@ pub use explore::{
     canonical_key, check_progress, check_progress_sym, explore, explore_sym, replay,
     ExploreConfig, ExploreError, ExploreStats, ProgressStats, Replayed, ScheduleStep, Violation,
 };
-pub use store::StoreMode;
+pub use index::OpenIndex;
+pub use store::{IndexMode, StoreMode};
 pub use liveness::{
     check_liveness_sym, check_mutex_starvation, check_naming_lockout, validate_bypass,
     validate_lasso, BypassWitness, Lasso, LassoWitness, LivenessReport, LivenessSpec,

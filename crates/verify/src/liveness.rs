@@ -95,6 +95,7 @@ use cfc_core::{Memory, Process, ProcessId, Section, Status, SymmetryGroup, Value
 use cfc_mutex::{MutexAlgorithm, MutexClient};
 use cfc_naming::NamingAlgorithm;
 
+use crate::csr::EdgeArena;
 use crate::explore::{replay, ExploreConfig, ExploreError, ScheduleStep};
 use crate::graph::{
     expand_step, AmpleMode, BuiltGraph, Engine, GEdge, GraphBuilder, Node, Order, TraversalSpec,
@@ -270,8 +271,14 @@ pub struct LivenessStats {
     /// semantics).
     pub arena_bytes: u64,
     /// Node-store arena segments written to the spill tier, summed over
-    /// all graphs.
+    /// all graphs (state and edge segments alike).
     pub spilled_buckets: u64,
+    /// Bytes of digest-index overhead across all per-victim node stores
+    /// (see `ExploreStats::index_bytes`).
+    pub index_bytes: u64,
+    /// Bytes of CSR edge storage (packed records + offsets) across all
+    /// per-victim graphs.
+    pub edge_bytes: u64,
 }
 
 /// The result of a liveness check: the verdict plus search statistics.
@@ -612,6 +619,8 @@ where
     stats.orbits_merged += t.orbits_merged;
     stats.arena_bytes += t.arena_bytes;
     stats.spilled_buckets += t.spilled_buckets;
+    stats.index_bytes += t.index_bytes;
+    stats.edge_bytes += t.edge_bytes;
     stats.graphs += 1;
     Ok((builder, graph))
 }
@@ -645,7 +654,7 @@ where
 /// Strongly connected components of the subgraph induced by `active`
 /// nodes, via iterative Tarjan. Emitted in reverse topological order of
 /// the condensation (every SCC before each of its predecessors).
-fn tarjan_sccs(edges: &[Vec<GEdge>], active: &[bool]) -> Vec<Vec<u32>> {
+fn tarjan_sccs(edges: &EdgeArena, active: &[bool]) -> Vec<Vec<u32>> {
     const UNSEEN: u32 = u32::MAX;
     let n = active.len();
     let mut index = vec![UNSEEN; n];
@@ -671,8 +680,8 @@ fn tarjan_sccs(edges: &[Vec<GEdge>], active: &[bool]) -> Vec<Vec<u32>> {
                 on_stack[v] = true;
             }
             let mut descend = None;
-            while frame.1 < edges[v].len() {
-                let w = edges[v][frame.1].to as usize;
+            while frame.1 < edges.degree(v) {
+                let w = edges.edge(v, frame.1).to as usize;
                 frame.1 += 1;
                 if !active[w] {
                     continue;
@@ -761,8 +770,8 @@ where
         let mut covered = vec![false; rep.status.len()];
         let mut nontrivial = scc.len() > 1;
         for &v in &scc {
-            for e in &g.edges[v as usize] {
-                if internal(e) {
+            for e in g.edges.edges(v as usize) {
+                if internal(&e) {
                     debug_assert!(!e.crash, "crash edges cannot close cycles");
                     covered[e.pid as usize] = true;
                     nontrivial = true;
@@ -837,17 +846,17 @@ where
         let mut b = 0u64;
         let mut ch = None;
         for &v in scc {
-            for (ei, e) in g.edges[v as usize].iter().enumerate() {
+            for (ei, e) in g.edges.edges(v as usize).enumerate() {
                 if !active[e.to as usize] {
                     continue;
                 }
                 let m = scc_id[e.to as usize] as usize;
                 if m == k {
-                    if weight(e) > 0 {
+                    if weight(&e) > 0 {
                         return (None, None); // pumpable overtaking cycle
                     }
                 } else {
-                    let cand = weight(e) + best[m];
+                    let cand = weight(&e) + best[m];
                     if cand > b {
                         b = cand;
                         ch = Some((v, ei));
@@ -882,7 +891,7 @@ where
             }
             hops.extend(path_in_scc(g, &member, cur, v));
         }
-        let e = &g.edges[v as usize][ei];
+        let e = g.edges.edge(v as usize, ei);
         hops.push((e.to, e.pid));
         cur = e.to;
         k = scc_id[cur as usize] as usize;
@@ -987,7 +996,7 @@ where
     for &q in &running {
         let (from, edge) = scc
             .iter()
-            .flat_map(|&v| g.edges[v as usize].iter().map(move |e| (v, e)))
+            .flat_map(|&v| g.edges.edges(v as usize).map(move |e| (v, e)))
             .find(|(_, e)| member[e.to as usize] && !e.crash && e.pid == q)
             .expect("fair SCC covers every running process");
         hops.extend(path_in_scc(g, &member, cur, from));
@@ -1113,7 +1122,7 @@ fn path_in_scc<P>(g: &BuiltGraph<P>, member: &[bool], from: u32, to: u32) -> Vec
     let mut prev: HashMap<u32, (u32, u32)> = HashMap::new(); // node -> (pred, pid)
     let mut queue = std::collections::VecDeque::from([from]);
     while let Some(v) = queue.pop_front() {
-        for e in &g.edges[v as usize] {
+        for e in g.edges.edges(v as usize) {
             if !member[e.to as usize] || e.to == from || prev.contains_key(&e.to) {
                 continue;
             }

@@ -19,9 +19,13 @@
 //!   (oldest, discovery-ordered) full segments move to one temp file and
 //!   are read back on demand;
 //! * [`NodeStore`] — the visited set / intern table: a digest index maps
-//!   a 64-bit hash of the record bytes to an intrusive chain of record
-//!   ids, so membership and interning cost one encode plus a chain walk,
-//!   and node ids decode transiently on expansion.
+//!   a 64-bit hash of the record bytes to record ids, so membership and
+//!   interning cost one encode plus a short probe, and node ids decode
+//!   transiently on expansion. The index is an open-addressed `u32`
+//!   table by default ([`crate::index::OpenIndex`], ~4–6 B/state); the
+//!   historical `HashMap` heads + intrusive `next` chain survive behind
+//!   [`IndexMode::Chained`] as the differential oracle
+//!   (`tests/index_equiv.rs`).
 //!
 //! Round-trip identity of the codec (checked by a construction-time probe
 //! and debug assertions on early insertions) makes the encoding
@@ -45,6 +49,7 @@ use cfc_core::{bits_for, Layout, LayoutCodec, Process, StateCodec, StateReader, 
     Status, Value};
 
 use crate::graph::Node;
+use crate::index::OpenIndex;
 
 /// Which representation a [`NodeStore`] uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -57,6 +62,22 @@ pub enum StoreMode {
     /// buckets of ids. Kept for differential testing and as an escape
     /// hatch; never spills.
     Boxed,
+}
+
+/// Which digest-index structure a packed [`NodeStore`] uses to map
+/// record digests to arena ids (ignored in boxed mode, which keeps its
+/// own buckets).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IndexMode {
+    /// A single open-addressed `u32` table with linear probing
+    /// ([`crate::index::OpenIndex`], the default): ~4–6 B/state.
+    #[default]
+    Open,
+    /// The historical `HashMap<u64, u32>` digest heads plus an intrusive
+    /// `next` chain (~16–20 B/state). Kept as the differential oracle —
+    /// worth running whenever the index itself is under suspicion, the
+    /// same way [`StoreMode::Boxed`] cross-checks the codec.
+    Chained,
 }
 
 /// The outcome of recording a state in the visited set
@@ -294,7 +315,7 @@ enum Seg {
 /// (removed on drop) and read back on demand. The partially filled tail
 /// segment — the hot end every fresh insertion compares against — never
 /// spills.
-struct SegArena {
+pub(crate) struct SegArena {
     rec_bytes: usize,
     recs_per_seg: usize,
     len: u32,
@@ -310,7 +331,7 @@ struct SegArena {
 }
 
 impl SegArena {
-    fn new(rec_bytes: usize, budget: Option<usize>) -> Self {
+    pub(crate) fn new(rec_bytes: usize, budget: Option<usize>) -> Self {
         SegArena {
             rec_bytes,
             recs_per_seg: (SEG_TARGET / rec_bytes).max(1),
@@ -325,20 +346,20 @@ impl SegArena {
         }
     }
 
-    fn len(&self) -> u32 {
+    pub(crate) fn len(&self) -> u32 {
         self.len
     }
 
     /// Total payload bytes ever appended (resident + spilled).
-    fn payload_bytes(&self) -> u64 {
+    pub(crate) fn payload_bytes(&self) -> u64 {
         u64::from(self.len) * self.rec_bytes as u64
     }
 
-    fn spilled_segs(&self) -> u64 {
+    pub(crate) fn spilled_segs(&self) -> u64 {
         self.spilled_segs
     }
 
-    fn push(&mut self, record: &[u8]) -> u32 {
+    pub(crate) fn push(&mut self, record: &[u8]) -> u32 {
         debug_assert_eq!(record.len(), self.rec_bytes);
         let id = self.len;
         assert!(id != u32::MAX, "arena full (u32::MAX records)");
@@ -374,6 +395,30 @@ impl SegArena {
                 f.seek(SeekFrom::Start(file_off + off as u64))
                     .expect("seek spill file");
                 f.read_exact(buf).expect("read spill file");
+            }
+        }
+    }
+
+    /// Applies `f` to record `id`'s bytes: borrowed in place for
+    /// resident segments (the hot path — no copy), bounced through the
+    /// `probe` scratch buffer for spilled ones. This is what keeps the
+    /// open index's probe runs cheap: each occupied slot on the path
+    /// costs one in-place compare, not a buffer copy.
+    pub(crate) fn with_record<R>(
+        &self,
+        id: u32,
+        probe: &RefCell<Vec<u8>>,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> R {
+        debug_assert!(id < self.len);
+        let seg = id as usize / self.recs_per_seg;
+        let off = (id as usize % self.recs_per_seg) * self.rec_bytes;
+        match &self.segs[seg] {
+            Seg::Resident(bytes) => f(&bytes[off..off + self.rec_bytes]),
+            Seg::Spilled(_) => {
+                let mut buf = probe.borrow_mut();
+                self.read_into(id, &mut buf);
+                f(&buf)
             }
         }
     }
@@ -437,6 +482,95 @@ impl Drop for SegArena {
 }
 
 // ---------------------------------------------------------------------
+// The digest index.
+// ---------------------------------------------------------------------
+
+/// The record-digest → arena-id index of a packed store, in either of
+/// the two [`IndexMode`] structures. The digest function is a field so
+/// tests can engineer collisions (e.g. a constant digest) and assert
+/// lookups still distinguish records by content alone.
+struct DigestIndex {
+    digest: fn(&[u8]) -> u64,
+    kind: IndexKind,
+}
+
+enum IndexKind {
+    Open(OpenIndex),
+    Chained {
+        /// Digest → head record id of an intrusive chain through `next`.
+        heads: HashMap<u64, u32>,
+        next: Vec<u32>,
+    },
+}
+
+impl DigestIndex {
+    fn new(mode: IndexMode) -> Self {
+        let kind = match mode {
+            IndexMode::Open => IndexKind::Open(OpenIndex::new()),
+            IndexMode::Chained => IndexKind::Chained {
+                heads: HashMap::new(),
+                next: Vec::new(),
+            },
+        };
+        DigestIndex { digest, kind }
+    }
+
+    /// Finds the id of the record byte-equal to `rec`, if stored.
+    fn find(&self, arena: &SegArena, probe: &RefCell<Vec<u8>>, rec: &[u8]) -> Option<u32> {
+        let d = (self.digest)(rec);
+        match &self.kind {
+            IndexKind::Open(table) => {
+                table.find(d, |id| arena.with_record(id, probe, |bytes| bytes == rec))
+            }
+            IndexKind::Chained { heads, next } => {
+                let mut cur = *heads.get(&d)?;
+                loop {
+                    if arena.with_record(cur, probe, |bytes| bytes == rec) {
+                        return Some(cur);
+                    }
+                    cur = next[cur as usize];
+                    if cur == u32::MAX {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records the freshly pushed `id` whose record bytes are `rec`.
+    /// The caller just pushed `rec` at `id`, so `digest_of(id)` (needed
+    /// when the open table grows) can re-derive digests straight from
+    /// the arena.
+    fn insert(&mut self, arena: &SegArena, probe: &RefCell<Vec<u8>>, rec: &[u8], id: u32) {
+        let digest_fn = self.digest;
+        let d = digest_fn(rec);
+        match &mut self.kind {
+            IndexKind::Open(table) => {
+                table.insert(d, id, |x| arena.with_record(x, probe, digest_fn));
+            }
+            IndexKind::Chained { heads, next } => {
+                let head = heads.insert(d, id);
+                debug_assert_eq!(next.len(), id as usize);
+                next.push(head.unwrap_or(u32::MAX));
+            }
+        }
+    }
+
+    /// Heap bytes held by the index: exact for the open table, an
+    /// estimate (entry payload + chain links, ignoring `HashMap` control
+    /// overhead) for the chained oracle so the two stay comparable.
+    fn heap_bytes(&self) -> u64 {
+        match &self.kind {
+            IndexKind::Open(table) => table.heap_bytes(),
+            IndexKind::Chained { heads, next } => {
+                (heads.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+                    + next.len() * std::mem::size_of::<u32>()) as u64
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The store.
 // ---------------------------------------------------------------------
 
@@ -470,12 +604,10 @@ enum Backend<P> {
     Packed {
         codec: NodeCodec<P>,
         arena: SegArena,
-        /// Digest → head record id of an intrusive chain through `next`.
-        index: HashMap<u64, u32>,
-        next: Vec<u32>,
+        index: DigestIndex,
         /// Encode scratch, `RefCell` so `&self` lookups can encode.
         scratch: RefCell<Vec<u8>>,
-        /// Read scratch for chain walks through possibly-spilled records.
+        /// Read scratch for probes through possibly-spilled records.
         probe: RefCell<Vec<u8>>,
     },
 }
@@ -548,15 +680,34 @@ impl<P> NodeStore<P> {
         };
         main + firsts
     }
+
+    /// Heap bytes held by the digest index (the open table's slot array,
+    /// or comparable estimates for the chained oracle and the boxed
+    /// backend's buckets).
+    pub(crate) fn index_bytes(&self) -> u64 {
+        match &self.backend {
+            Backend::Boxed { nodes, buckets, .. } => {
+                // Entry payload + one Vec spine per bucket + one id per
+                // node; HashMap control overhead ignored, like the
+                // chained estimate.
+                (buckets.len()
+                    * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>())
+                    + nodes.len() * std::mem::size_of::<u32>()) as u64
+            }
+            Backend::Packed { index, .. } => index.heap_bytes(),
+        }
+    }
 }
 
 impl<P: Process + Clone + Eq + Hash> NodeStore<P> {
     /// Builds a store for states shaped like `root` (which is **not**
     /// inserted). `track_firsts` enables first-visitor identity for the
     /// DFS orbit-merge counter; `spill_budget` bounds resident arena
-    /// bytes in packed mode (`None`: never spill).
+    /// bytes in packed mode (`None`: never spill); `index` picks the
+    /// digest-index structure (ignored in boxed mode).
     pub(crate) fn new(
         mode: StoreMode,
+        index: IndexMode,
         spill_budget: Option<usize>,
         layout: &Layout,
         root: &Node<P>,
@@ -574,8 +725,7 @@ impl<P: Process + Clone + Eq + Hash> NodeStore<P> {
                 Backend::Packed {
                     codec,
                     arena: SegArena::new(rec_bytes, spill_budget),
-                    index: HashMap::new(),
-                    next: Vec::new(),
+                    index: DigestIndex::new(index),
                     scratch: RefCell::new(Vec::new()),
                     probe: RefCell::new(Vec::new()),
                 }
@@ -606,7 +756,6 @@ impl<P: Process + Clone + Eq + Hash> NodeStore<P> {
                 codec,
                 arena,
                 index,
-                next,
                 scratch,
                 probe,
             } => {
@@ -616,7 +765,7 @@ impl<P: Process + Clone + Eq + Hash> NodeStore<P> {
                     // node cannot be stored.
                     return false;
                 }
-                Self::find_in_chain(arena, index, next, probe, &rec).is_some()
+                index.find(arena, probe, &rec).is_some()
             }
         }
     }
@@ -644,20 +793,16 @@ impl<P: Process + Clone + Eq + Hash> NodeStore<P> {
                 codec,
                 arena,
                 index,
-                next,
                 scratch,
                 probe,
             } => {
                 let mut rec = scratch.borrow_mut();
                 codec.encode_mut(&canon, &mut rec);
-                if let Some(id) = Self::find_in_chain(arena, index, next, probe, &rec) {
+                if let Some(id) = index.find(arena, probe, &rec) {
                     return (id, false);
                 }
                 let id = arena.push(&rec);
-                let d = digest(&rec);
-                let head = index.insert(d, id);
-                debug_assert_eq!(next.len(), id as usize);
-                next.push(head.unwrap_or(u32::MAX));
+                index.insert(arena, probe, &rec, id);
                 // Early-insertion decode-back check: `decode(encode(x)) ==
                 // x` is the injectivity contract everything rests on, so
                 // the first insertions of every debug run verify it end to
@@ -787,27 +932,6 @@ impl<P: Process + Clone + Eq + Hash> NodeStore<P> {
         }
     }
 
-    fn find_in_chain(
-        arena: &SegArena,
-        index: &HashMap<u64, u32>,
-        next: &[u32],
-        probe: &RefCell<Vec<u8>>,
-        rec: &[u8],
-    ) -> Option<u32> {
-        let mut cur = *index.get(&digest(rec))?;
-        let mut buf = probe.borrow_mut();
-        loop {
-            arena.read_into(cur, &mut buf);
-            if buf.as_slice() == rec {
-                return Some(cur);
-            }
-            cur = next[cur as usize];
-            if cur == u32::MAX {
-                return None;
-            }
-        }
-    }
-
 }
 
 fn node_hash<P: Hash>(node: &Node<P>) -> u64 {
@@ -885,9 +1009,18 @@ mod tests {
         budget: Option<usize>,
         track_firsts: bool,
     ) -> NodeStore<Packable> {
+        store_with(mode, IndexMode::default(), budget, track_firsts)
+    }
+
+    fn store_with(
+        mode: StoreMode,
+        index: IndexMode,
+        budget: Option<usize>,
+        track_firsts: bool,
+    ) -> NodeStore<Packable> {
         let layout = layout2();
         let root = node([0, 0], 0, 0, 2);
-        NodeStore::new(mode, budget, &layout, &root, track_firsts)
+        NodeStore::new(mode, index, budget, &layout, &root, track_firsts)
     }
 
     #[test]
@@ -935,7 +1068,8 @@ mod tests {
             status: vec![Status::Running; 2],
             crashes_left: 0,
         };
-        let mut s = NodeStore::new(StoreMode::Packed, None, &layout, &root, false);
+        let mut s =
+            NodeStore::new(StoreMode::Packed, IndexMode::default(), None, &layout, &root, false);
         let x = Node {
             procs: vec![Opaque { word: 7 }, Opaque { word: 9 }],
             ..root.clone()
@@ -957,31 +1091,75 @@ mod tests {
 
     #[test]
     fn spill_tier_keeps_lookups_exact() {
-        // A budget of one segment forces everything but the tail to disk.
-        let mut s = store(StoreMode::Packed, Some(SEG_TARGET), false);
-        let mut ids = Vec::new();
-        // Enough records to fill several 64 KiB segments (4-byte records,
-        // 16384 per segment).
-        for i in 0..60_000u32 {
-            let x = node(
-                [(i % 251) as u8, (i / 251) as u8],
-                u64::from(i % 8),
-                u64::from(i % 32),
-                i % 3,
-            );
-            let (id, fresh) = s.intern(x);
-            assert!(fresh, "all states distinct");
-            ids.push(id);
+        // A budget of one segment forces everything but the tail to
+        // disk; both index structures must probe spilled records
+        // exactly.
+        for imode in [IndexMode::Open, IndexMode::Chained] {
+            let mut s = store_with(StoreMode::Packed, imode, Some(SEG_TARGET), false);
+            let mut ids = Vec::new();
+            // Enough records to fill several 64 KiB segments (4-byte
+            // records, 16384 per segment).
+            for i in 0..60_000u32 {
+                let x = node(
+                    [(i % 251) as u8, (i / 251) as u8],
+                    u64::from(i % 8),
+                    u64::from(i % 32),
+                    i % 3,
+                );
+                let (id, fresh) = s.intern(x);
+                assert!(fresh, "all states distinct ({imode:?})");
+                ids.push(id);
+            }
+            assert!(s.spilled_buckets() > 0, "budget must have forced spills");
+            // Reads and membership still hit spilled records exactly.
+            let probe = node([77, 0], u64::from(77u32 % 8), u64::from(77u32 % 32), 77 % 3);
+            assert!(s.contains(&probe));
+            let (_, fresh) = s.intern(probe);
+            assert!(!fresh, "reinterning a spilled state must dedupe ({imode:?})");
+            assert_eq!(s.len(), 60_000);
+            let decoded = s.node(ids[123]);
+            assert_eq!(decoded.values[0], Value::new(123 % 8));
         }
-        assert!(s.spilled_buckets() > 0, "budget must have forced spills");
-        // Reads and membership still hit spilled records exactly.
-        let probe = node([77, 0], u64::from(77u32 % 8), u64::from(77u32 % 32), 77 % 3);
-        assert!(s.contains(&probe));
-        let (_, fresh) = s.intern(probe);
-        assert!(!fresh, "reinterning a spilled state must dedupe");
-        assert_eq!(s.len(), 60_000);
-        let decoded = s.node(ids[123]);
-        assert_eq!(decoded.values[0], Value::new(123 % 8));
+    }
+
+    #[test]
+    fn engineered_digest_collision_keeps_distinct_states_fresh() {
+        // Two distinct canonical states with an *engineered* equal
+        // digest must both intern Fresh and never report a merge: the
+        // index resolves collisions by byte comparison, never by hash.
+        for imode in [IndexMode::Open, IndexMode::Chained] {
+            let mut s = store_with(StoreMode::Packed, imode, None, true);
+            let Backend::Packed { index, .. } = &mut s.backend else {
+                unreachable!("packed store requested above");
+            };
+            index.digest = |_| 0xdead_beef;
+            let x = node([1, 2], 3, 4, 1);
+            let y = node([9, 9], 5, 5, 0);
+            assert_eq!(s.visit(&x, None), VisitOutcome::Fresh, "{imode:?}");
+            assert_eq!(s.visit(&y, None), VisitOutcome::Fresh, "{imode:?}");
+            assert_eq!(s.visit(&x, None), VisitOutcome::RevisitSame, "{imode:?}");
+            assert_eq!(s.visit(&y, None), VisitOutcome::RevisitSame, "{imode:?}");
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn open_and_chained_indexes_agree_across_growth() {
+        // Enough distinct states to force several open-table doublings;
+        // the two index structures must assign identical ids.
+        let mut open = store_with(StoreMode::Packed, IndexMode::Open, None, false);
+        let mut chained = store_with(StoreMode::Packed, IndexMode::Chained, None, false);
+        for i in 0..3_000u32 {
+            let x = node([(i % 251) as u8, (i / 251) as u8], u64::from(i % 8), 0, 0);
+            assert_eq!(open.intern(x.clone()), chained.intern(x));
+        }
+        assert_eq!(open.len(), chained.len());
+        assert!(
+            open.index_bytes() < chained.index_bytes(),
+            "open index must be smaller: {} vs {}",
+            open.index_bytes(),
+            chained.index_bytes()
+        );
     }
 
     #[test]

@@ -233,6 +233,29 @@ fn exhaustive_tournament_seven_packed() {
 }
 
 #[test]
+#[ignore = "heaviest packed-store target (hundreds of millions of states); run via cargo test --release -- --ignored"]
+fn exhaustive_tournament_eight_packed() {
+    // Eight processes on the balanced three-level tournament tree — the
+    // scale point the open-addressed digest index and the CSR edge
+    // arena were built to reach. The footprint assertion covers the
+    // *whole* per-state cost (arena stride + index slots + edges; the
+    // safety DFS records no edges) and pins it below the 64 B/state
+    // arena-only bar the n=7 target set in PR 6.
+    let stats = check_mutex_safety(&Tournament::new(8, 1), 1, por_only(600_000_000)).unwrap();
+    assert!(
+        stats.states > 50_000_000,
+        "expected an order of magnitude past the n=7 target, visited only {}",
+        stats.states
+    );
+    let bytes_per_state =
+        (stats.arena_bytes + stats.index_bytes + stats.edge_bytes) as f64 / stats.states as f64;
+    assert!(
+        bytes_per_state < 64.0,
+        "total per-state footprint regressed to {bytes_per_state:.1} B/state"
+    );
+}
+
+#[test]
 #[ignore = "heavy spill-path differential (~334k states twice); run via cargo test --release -- --ignored"]
 fn exhaustive_tournament_five_spill_differential() {
     // The spill-path config CI's exhaustive job runs under a constrained
