@@ -81,6 +81,26 @@ impl RegisterSet {
         }
     }
 
+    /// Is every member of `self` also a member of `other`?
+    ///
+    /// Handles differing backing lengths: a set bit of `self` beyond
+    /// `other`'s last word is not a subset.
+    pub fn is_subset(&self, other: &RegisterSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates the members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = RegisterId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| RegisterId::new((wi * 64 + b) as u32))
+        })
+    }
+
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|w| *w == 0)
@@ -194,6 +214,19 @@ mod tests {
         assert_eq!(s.len(), 2);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn subset_handles_unequal_backing_lengths() {
+        let mut small = RegisterSet::new();
+        small.insert(RegisterId::new(3));
+        let mut large = RegisterSet::new();
+        large.insert(RegisterId::new(3));
+        large.insert(RegisterId::new(130));
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+        assert!(RegisterSet::new().is_subset(&small));
+        assert_eq!(large.iter().map(|r| r.index()).collect::<Vec<_>>(), [3, 130]);
     }
 
     #[test]

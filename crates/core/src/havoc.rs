@@ -1,0 +1,143 @@
+//! Havoc semantics: the feasible results of one operation when shared
+//! memory is unconstrained.
+//!
+//! The paper's central object is the *contention-free* (solo) execution:
+//! a process running with no interference. To reason about **all** solo
+//! behaviors at once — and about a process's behavior embedded in an
+//! arbitrary concurrent run — the control-automaton analysis in
+//! `cfc-verify` steps a process over a *havoc* memory in which every
+//! read may return any value the register's layout width admits. This
+//! module enumerates that result domain for one operation.
+//!
+//! Soundness is by construction: the concrete result any real memory
+//! returns for an operation is drawn from the domain enumerated here
+//! (reads are masked to the register width on every write path, bit
+//! operations return bits, packed reads return per-member masked
+//! values). Writes observe nothing, so they have the singleton domain
+//! `[OpResult::None]`.
+
+use crate::layout::Layout;
+use crate::op::{Op, OpResult};
+use crate::value::Value;
+
+/// Result domains wider than `2^HAVOC_WIDTH_CAP` are not enumerated;
+/// [`op_result_domain`] returns `None` and the caller must fall back to
+/// a conservative analysis. 16 bits covers every modeled family
+/// (bakery tickets are the widest at 16 bits — and bakery's reads feed
+/// only order comparisons, so its location hook projects the ticket
+/// values away before the domain is ever consulted).
+pub const HAVOC_WIDTH_CAP: u32 = 16;
+
+/// Enumerates every result the operation can observe under havoc
+/// memory, in a fixed deterministic order (increasing raw value;
+/// packed-word members vary last-member-fastest).
+///
+/// Returns `None` when the domain would exceed `2^`[`HAVOC_WIDTH_CAP`]
+/// members — the caller must then treat the process as unanalyzable
+/// (which is always sound) rather than enumerate billions of branches.
+pub fn op_result_domain(op: &Op, layout: &Layout) -> Option<Vec<OpResult>> {
+    match op {
+        Op::Read(r) => {
+            let width = layout.width(*r);
+            if width > HAVOC_WIDTH_CAP {
+                return None;
+            }
+            Some(
+                (0..1u64 << width)
+                    .map(|v| OpResult::Value(Value::new(v)))
+                    .collect(),
+            )
+        }
+        Op::Write(..) | Op::WriteWord(..) => Some(vec![OpResult::None]),
+        Op::Bit(_, bop) => {
+            if bop.returns_value() {
+                // A read–modify–write bit op observes the old bit.
+                Some(vec![
+                    OpResult::Value(Value::ZERO),
+                    OpResult::Value(Value::ONE),
+                ])
+            } else {
+                Some(vec![OpResult::None])
+            }
+        }
+        Op::ReadWord(w) => {
+            let members = layout.word_members(*w)?;
+            let total: u32 = members.iter().map(|&r| layout.width(r)).sum();
+            if total > HAVOC_WIDTH_CAP {
+                return None;
+            }
+            // The cross product of the member domains, packed as the
+            // member-value vector `Memory::apply` returns.
+            let mut domain = vec![Vec::new()];
+            for &r in members {
+                let width = layout.width(r);
+                let mut next = Vec::with_capacity(domain.len() << width);
+                for prefix in &domain {
+                    for v in 0..1u64 << width {
+                        let mut vs = prefix.clone();
+                        vs.push(Value::new(v));
+                        next.push(vs);
+                    }
+                }
+                domain = next;
+            }
+            Some(domain.into_iter().map(OpResult::Values).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitop::BitOp;
+    use crate::ids::WordId;
+
+    #[test]
+    fn read_domain_covers_the_width() {
+        let mut layout = Layout::new();
+        let r = layout.register("r", 2, 0);
+        let domain = op_result_domain(&Op::Read(r), &layout).unwrap();
+        assert_eq!(domain.len(), 4);
+        assert_eq!(domain[3], OpResult::Value(Value::new(3)));
+    }
+
+    #[test]
+    fn writes_observe_nothing() {
+        let mut layout = Layout::new();
+        let r = layout.register("r", 4, 0);
+        let domain = op_result_domain(&Op::Write(r, Value::new(9)), &layout).unwrap();
+        assert_eq!(domain, vec![OpResult::None]);
+    }
+
+    #[test]
+    fn bit_ops_split_on_returns_value() {
+        let mut layout = Layout::new();
+        let b = layout.bit("b", false);
+        let tas = op_result_domain(&Op::Bit(b, BitOp::TestAndSet), &layout).unwrap();
+        assert_eq!(tas.len(), 2);
+        let set = op_result_domain(&Op::Bit(b, BitOp::Write1), &layout).unwrap();
+        assert_eq!(set, vec![OpResult::None]);
+    }
+
+    #[test]
+    fn word_read_is_the_member_product() {
+        let mut layout = Layout::new();
+        let x = layout.register("x", 1, 0);
+        let y = layout.register("y", 2, 0);
+        let w = layout.pack(&[x, y]).unwrap();
+        let domain = op_result_domain(&Op::ReadWord(w), &layout).unwrap();
+        assert_eq!(domain.len(), 8);
+        assert_eq!(
+            domain[5],
+            OpResult::Values(vec![Value::new(1), Value::new(1)])
+        );
+        assert!(op_result_domain(&Op::ReadWord(WordId::new(9)), &layout).is_none());
+    }
+
+    #[test]
+    fn wide_reads_refuse_to_enumerate() {
+        let mut layout = Layout::new();
+        let r = layout.register("r", HAVOC_WIDTH_CAP + 1, 0);
+        assert!(op_result_domain(&Op::Read(r), &layout).is_none());
+    }
+}

@@ -94,6 +94,26 @@ pub trait Process {
         None
     }
 
+    /// A compact key for this process's *control location*, used by the
+    /// solo-execution control-automaton analysis in `cfc-verify` to merge
+    /// local states that are indistinguishable to reduction.
+    ///
+    /// Contract: two states of the same system that report the same
+    /// `Some` location must have (a) the same current-step footprint and
+    /// (b) the same set of successor locations over all operation
+    /// results — except that successors looping back to the same
+    /// location may differ (a self-loop adds nothing to the location's
+    /// future-access set). Data that influences *which* registers are
+    /// accessed must therefore be part of the location; data that only
+    /// influences written values (tickets, scratch maxima) should be
+    /// projected away, which is exactly what keeps the havoc execution
+    /// tree finite. Defaults to `None`, in which case the analysis keys
+    /// on the full state via `Eq`/`Hash` (always sound, finite only for
+    /// processes that retain no wide data).
+    fn location(&self) -> Option<u64> {
+        None
+    }
+
     /// Writes an over-approximation of every shared location this process
     /// may access in the current step **or any future step** (under any
     /// operation results) into `out`, returning `true`; returns `false`
@@ -153,6 +173,10 @@ impl<P: Process + ?Sized> Process for Box<P> {
 
     fn fingerprint(&self) -> Option<u64> {
         (**self).fingerprint()
+    }
+
+    fn location(&self) -> Option<u64> {
+        (**self).location()
     }
 
     fn may_access(&self, out: &mut RegisterSet) -> bool {

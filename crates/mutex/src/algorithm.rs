@@ -61,6 +61,24 @@ pub trait LockProcess {
         false
     }
 
+    /// A compact key for the lock's *control location*, forwarded (packed
+    /// together with the client's own phase fields) as the client's
+    /// [`Process::location`].
+    ///
+    /// Same contract as [`Process::location`]: states sharing a key must
+    /// have the same current-step footprint and the same successor-key
+    /// set (modulo self-loops), so any data that only influences written
+    /// values or loop-exit tests — bakery's ticket scratch, say — must be
+    /// projected away, and that projection is exactly what keeps the
+    /// solo-execution control automaton finite for locks that read
+    /// unbounded tickets. Defaults to `None`: the analysis then keys on
+    /// the client's full state, which stays finite for locks whose local
+    /// state is control-only (Peterson nodes, Lamport's pc-driven scan,
+    /// whole tournament paths).
+    fn lock_location(&self) -> Option<u64> {
+        None
+    }
+
     /// Packs every varying part of the lock's local state into `w`,
     /// returning `true`; returns `false` (the default) when the lock does
     /// not support bit-packing, in which case the packed state store in
@@ -336,6 +354,33 @@ impl<L: LockProcess> Process for MutexClient<L> {
 
     fn section(&self) -> Option<Section> {
         Some(self.section)
+    }
+
+    fn location(&self) -> Option<u64> {
+        // Pack the client's own phase fields under the lock's location
+        // key. `cs_steps` is constant across a system and so carries no
+        // information; everything else that varies is included. Field
+        // overflow declines the key rather than aliasing distinct
+        // states (aliasing would break the location congruence contract
+        // and surface as lint findings).
+        let lock = self.lock.lock_location()?;
+        if lock >= 1 << 40 || self.trips_remaining >= 1 << 10 || self.cs_left >= 1 << 10 {
+            return None;
+        }
+        let tag = match self.section {
+            Section::Remainder => 0u64,
+            Section::Entry => 1,
+            Section::Critical => 2,
+            Section::Exit => 3,
+        };
+        Some(
+            lock << 24
+                | u64::from(self.trips_remaining) << 14
+                | u64::from(self.cs_left) << 4
+                | tag << 2
+                | u64::from(self.forever) << 1
+                | u64::from(self.engaged),
+        )
     }
 
     fn may_access(&self, out: &mut RegisterSet) -> bool {

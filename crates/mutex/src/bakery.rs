@@ -347,9 +347,53 @@ impl LockProcess for BakeryLock {
     }
 
     fn protocol_footprint(&self, out: &mut RegisterSet) -> bool {
+        if self.mutation == Some(BakeryMutation::UnderReportScan) {
+            // Planted hook bug: a waiter reports only the prefix it has
+            // already passed, forgetting the scan suffix it has yet to
+            // read and its own exit-time `number[me] := 0` write. The
+            // current step's register is still covered (index `j` is in
+            // the prefix), so traversal-time footprint checks never
+            // fire — only the static future-access lint can see it.
+            if let Pc::WaitChoosing(j) | Pc::WaitNumber(j) = self.pc {
+                let j = j as usize;
+                out.extend(self.choosing[..=j].iter().copied());
+                out.extend(self.number[..=j].iter().copied());
+                return true;
+            }
+        }
         out.extend(self.choosing.iter().copied());
         out.extend(self.number.iter().copied());
         true
+    }
+
+    // Location: identity + pc, with the ticket scratch (`max_seen`,
+    // `my_number`) deliberately projected away. The tickets influence
+    // only *written values* and the wait-loop's spin-vs-advance test;
+    // the spin branch is a self-loop at the same location, which the
+    // congruence contract exempts, so every state sharing this key has
+    // the same step footprint and the same non-loop successor set.
+    // Keeping the tickets out is what makes the solo control automaton
+    // finite despite `TICKET_WIDTH`-bit havoc reads. Mutants keep the
+    // hook: the planted bugs perturb footprints and branch conditions
+    // per-pc, never per-ticket, so the congruence argument is unchanged
+    // — and the hook-lint suite relies on extracting mutant automata.
+    fn lock_location(&self) -> Option<u64> {
+        let (tag, arg) = match self.pc {
+            Pc::Idle => (0u64, 0u64),
+            Pc::WriteChoosing1 => (1, 0),
+            Pc::ScanMax(j) => (2, u64::from(j)),
+            Pc::WriteNumber => (3, 0),
+            Pc::WriteChoosing0 => (4, 0),
+            Pc::WaitChoosing(j) => (5, u64::from(j)),
+            Pc::WaitNumber(j) => (6, u64::from(j)),
+            Pc::EntryDone => (7, 0),
+            Pc::ExitWriteNumber => (8, 0),
+            Pc::ExitDone => (9, 0),
+        };
+        if self.me >= 1 << 16 || arg >= 1 << 16 {
+            return None;
+        }
+        Some(u64::from(self.me) << 20 | arg << 4 | tag)
     }
 
     // Packed-store encoding: identity (16) + pc tag (4) + pc arg (16) +

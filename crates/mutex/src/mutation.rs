@@ -36,6 +36,15 @@ pub enum BakeryMutation {
     /// Every later competitor waits on the stale ticket forever — a
     /// reachable wedge the progress checker must find.
     SkipExitReset,
+    /// Under-report the wait-scan footprint: at `WaitChoosing(j)` /
+    /// `WaitNumber(j)` the `protocol_footprint` hook declares only the
+    /// prefix up to `j`, omitting the scan suffix still to be read and
+    /// the exit-time `number[i]` reset. The *algorithm* is untouched —
+    /// every run is still correct — but the reduction hook lies about
+    /// future accesses, which could let partial-order reduction prune a
+    /// needed interleaving. Only the static hook lint
+    /// (`cfc_verify::lint_model`) can flag it.
+    UnderReportScan,
 }
 
 /// Planted bugs for [`crate::PetersonTwo`]

@@ -223,6 +223,28 @@ impl LockProcess for PetersonLock {
         true
     }
 
+    // Location: side + pc is the whole lock state, so the key is exact.
+    // The two sides never share a key (`me` differs), which keeps the
+    // per-location future sets from merging across processes. Only the
+    // standalone two-process lock reaches this hook — the tournament's
+    // composite lock keeps the full-state fallback because its nodes
+    // hold different handles per process. Mutants keep the hook: each
+    // planted bug perturbs behavior per-pc with a constant knob, so
+    // location congruence is unaffected.
+    fn lock_location(&self) -> Option<u64> {
+        let tag = match self.pc {
+            Pc::Idle => 0u64,
+            Pc::WriteFlag => 1,
+            Pc::WriteTurn => 2,
+            Pc::ReadOtherFlag => 3,
+            Pc::ReadTurn => 4,
+            Pc::EntryDone => 5,
+            Pc::ExitWriteFlag => 6,
+            Pc::ExitDone => 7,
+        };
+        Some((self.me as u64) << 3 | tag)
+    }
+
     // Packed-store encoding: side (1 bit) + pc tag (3 bits) = 4 bits per
     // lock. Register handles are shared by both participants of a
     // standalone [`PetersonTwo`], so they stay on the prototype. (The

@@ -38,7 +38,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cfc_core::{bits_for, Layout, Op, OpResult, Process, ProcessId, RegisterId, Step, Value};
+use cfc_core::{
+    bits_for, Layout, Op, OpResult, Process, ProcessId, RegisterId, RegisterSet, Step, Value,
+};
 
 use crate::detect::DetectionAlgorithm;
 
@@ -266,6 +268,38 @@ impl Process for SplitterProc {
             SplitterPc::Done(v) => Some(Value::new(v)),
             _ => None,
         }
+    }
+
+    // Deliberately pc-insensitive: the whole protocol footprint, every
+    // chunk of `x` plus `y`, at every location. Sound and monotone, but
+    // coarse — a process that has already read back `x` will never touch
+    // the early chunks again. The control-automaton future sets
+    // (`MayAccessMode::Automaton` in `cfc-verify`) recover exactly that
+    // per-location precision; keeping the declared hook coarse is what
+    // makes the sharpening measurable in the reduction sweep.
+    fn may_access(&self, out: &mut RegisterSet) -> bool {
+        out.extend(self.x.iter().copied());
+        out.insert(self.y);
+        true
+    }
+
+    // Location: the pc alone. All processes share the same flat `x`/`y`
+    // handles and differ only in the chunk *values* they write and
+    // compare, so states agreeing on the pc have identical step
+    // footprints, and both branches of every comparison are feasible for
+    // every process — the successor-location sets coincide too. Merging
+    // locations across process identities is therefore exact here (the
+    // tree variant below cannot do this: its processes walk different
+    // node registers, so it keeps the full-state fallback).
+    fn location(&self) -> Option<u64> {
+        let (tag, arg) = match self.pc {
+            SplitterPc::WriteChunk(i) => (0u64, u64::from(i)),
+            SplitterPc::ReadY => (1, 0),
+            SplitterPc::WriteY => (2, 0),
+            SplitterPc::ReadChunk(i) => (3, u64::from(i)),
+            SplitterPc::Done(v) => (4, v),
+        };
+        Some(arg << 3 | tag)
     }
 }
 
@@ -497,6 +531,21 @@ impl Process for SplitterTreeProc {
             TreeSplitPc::Done(v) => Some(Value::new(v)),
             _ => None,
         }
+    }
+
+    // The whole leaf-to-root path: both registers of every node this
+    // process visits. Processes in different subtrees declare disjoint
+    // node sets below their meeting level, which is already what makes
+    // partial-order reduction effective on the tree. No `location` hook:
+    // the paths differ per process, so a shared pc-keyed location would
+    // merge future sets across subtrees and *coarsen* the result; the
+    // full-state fallback is finite (only the pc varies) and exact.
+    fn may_access(&self, out: &mut RegisterSet) -> bool {
+        for (node, _) in self.path.iter() {
+            out.insert(node.x);
+            out.insert(node.y);
+        }
+        true
     }
 }
 

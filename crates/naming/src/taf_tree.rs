@@ -194,6 +194,14 @@ impl Process for TreeWalkProc {
         }
         true
     }
+
+    // The fingerprint already encodes the whole varying state (heap
+    // position or name), and every walker runs the identical program —
+    // no identity in the local state — so sharing location keys across
+    // processes only merges states with equal footprints and futures.
+    fn location(&self) -> Option<u64> {
+        self.fingerprint()
+    }
 }
 
 #[cfg(test)]

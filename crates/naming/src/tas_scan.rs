@@ -150,6 +150,14 @@ impl Process for TasScanProc {
         }
         true
     }
+
+    // The fingerprint already encodes the whole varying state (the pc),
+    // and every participant runs the identical program — no identity in
+    // the local state — so sharing location keys across processes only
+    // merges states with equal step footprints and equal futures.
+    fn location(&self) -> Option<u64> {
+        self.fingerprint()
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,7 @@ use std::hash::Hash;
 
 use cfc_core::{Memory, OpResult, Process, ProcessId, Status, Step, SymmetryGroup, Value};
 
+use crate::analysis::MayAccessMode;
 use crate::graph::{
     canonicalize, expand_step, full_hash, AmpleMode, Engine, GraphBuilder, BuiltGraph, Node,
     Order, TraversalSpec,
@@ -138,6 +139,14 @@ pub struct ExploreConfig {
     /// demand. `None` (the default) never spills. Ignored in
     /// [`StoreMode::Boxed`].
     pub spill_budget_bytes: Option<usize>,
+    /// Which future-access over-approximation ample-set selection
+    /// consults: [`MayAccessMode::Declared`] (the default) trusts the
+    /// hand-written [`Process::may_access`] hooks;
+    /// [`MayAccessMode::Automaton`] extracts each process's solo
+    /// control automaton up front and uses its location-sensitive
+    /// future-access sets, falling back to the declared hook for any
+    /// state the automaton cannot resolve. Ignored when `por` is off.
+    pub may_access: MayAccessMode,
 }
 
 impl Default for ExploreConfig {
@@ -150,6 +159,7 @@ impl Default for ExploreConfig {
             store: StoreMode::Packed,
             index: IndexMode::Open,
             spill_budget_bytes: None,
+            may_access: MayAccessMode::Declared,
         }
     }
 }
@@ -197,6 +207,13 @@ impl ExploreConfig {
     #[must_use]
     pub fn with_spill_budget(mut self, bytes: usize) -> Self {
         self.spill_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Replaces the future-access source ample-set selection consults.
+    #[must_use]
+    pub fn with_may_access(mut self, may_access: MayAccessMode) -> Self {
+        self.may_access = may_access;
         self
     }
 }

@@ -40,6 +40,7 @@ use cfc_core::{
     Value,
 };
 
+use crate::analysis::{FutureIndex, MayAccessMode};
 pub(crate) use crate::csr::GEdge;
 use crate::csr::{EdgeArena, ReversedCsr};
 use crate::explore::{ExploreConfig, ExploreError, ScheduleStep, StateView, Violation};
@@ -113,6 +114,23 @@ pub(crate) fn expand_step<P: Process + Clone>(
         Step::Halt => next.status[i] = Status::Done,
         Step::Internal => next.procs[i].advance(OpResult::None),
         Step::Op(op) => {
+            // Runtime analog of the static hook lint (`crate::analysis`):
+            // the executed step must be covered by the declared
+            // `may_access` at the pre-state. Debug builds only — this
+            // catches hook drift the solo analysis cannot see, such as a
+            // normalizer rewriting a process into a control point its
+            // hook never anticipated.
+            #[cfg(debug_assertions)]
+            {
+                let mut declared = RegisterSet::new();
+                if node.procs[i].may_access(&mut declared) {
+                    let fp = Footprint::of_op(&op, template.layout());
+                    debug_assert!(
+                        fp.reads.is_subset(&declared) && fp.writes.is_subset(&declared),
+                        "process {i}: step footprint {fp:?} escapes its declared may_access set"
+                    );
+                }
+            }
             let mut mem = rebuild_memory(template, &next.values);
             let result = mem.apply(&op).map_err(ExploreError::Memory)?;
             next.values = mem.snapshot().to_vec();
@@ -230,6 +248,11 @@ pub(crate) struct Engine<P> {
     config: ExploreConfig,
     use_sym: bool,
     scratch: AmpleScratch<P>,
+    /// Per-location future-access sets from the solo control automata,
+    /// installed by the traversal entry points when the configuration
+    /// asks for [`MayAccessMode::Automaton`]; `None` means ample
+    /// selection consults the declared `may_access` hooks only.
+    future: Option<FutureIndex<P>>,
 }
 
 impl<P: Process + Clone + Eq + Hash> Engine<P> {
@@ -252,7 +275,21 @@ impl<P: Process + Clone + Eq + Hash> Engine<P> {
             config,
             use_sym,
             scratch: AmpleScratch::new(n),
+            future: None,
         }
+    }
+
+    /// Whether the configuration asks for automaton-derived future sets
+    /// (meaningful only with partial-order reduction on — the engine's
+    /// `por` flag already accounts for the normalizer override).
+    pub(crate) fn wants_automaton(&self) -> bool {
+        self.config.por && self.config.may_access == MayAccessMode::Automaton
+    }
+
+    /// Installs the future-access index ample selection consults under
+    /// [`MayAccessMode::Automaton`].
+    pub(crate) fn set_future_index(&mut self, index: FutureIndex<P>) {
+        self.future = Some(index);
     }
 
     /// The initial node: all processes running, the template memory image,
@@ -383,11 +420,21 @@ impl<P: Process + Clone + Eq + Hash> Engine<P> {
         F: Fn(&Node<P>) -> bool,
     {
         // Future-access over-approximations, computed once per state into
-        // the reused scratch buffers.
+        // the reused scratch buffers. Under `MayAccessMode::Automaton`
+        // the per-location sets of the solo control automata take
+        // precedence (sharper and known for more states); any state the
+        // index cannot resolve falls back to the declared hook.
+        let future = self.future.as_ref();
         for &j in runnable {
             let (known, set) = &mut self.scratch.may[j];
             set.clear();
-            *known = node.procs[j].may_access(set);
+            *known = match future.and_then(|f| f.future_of(&node.procs[j])) {
+                Some(fut) => {
+                    set.union_with(fut);
+                    true
+                }
+                None => node.procs[j].may_access(set),
+            };
         }
         let layout = self.template.layout();
         'candidates: for &i in runnable {
@@ -727,6 +774,10 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         let mode = self.spec.ample_mode;
         let engine = &mut self.engine;
 
+        if engine.wants_automaton() {
+            let index = FutureIndex::build(engine.template().layout(), &procs);
+            engine.set_future_index(index);
+        }
         let mut root = engine.root(procs);
         Self::normalize(normalizer, &mut root);
 
@@ -850,6 +901,10 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         let engine = &mut self.engine;
         let mut stats = TraversalStats::default();
 
+        if engine.wants_automaton() {
+            let index = FutureIndex::build(engine.template().layout(), &procs);
+            engine.set_future_index(index);
+        }
         let mut root = engine.root(procs);
         Self::normalize(normalizer, &mut root);
         let root_canon = engine.canonical_of(&root);

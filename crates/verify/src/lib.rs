@@ -17,6 +17,11 @@
 //!   [`BypassWitness`] overtaking schedules for every finite bypass
 //!   bound ([`check_mutex_starvation`], [`check_naming_lockout`];
 //!   no reported bound without a replayable schedule).
+//! * [`analysis`] — solo-execution control automata: each process
+//!   stepped exhaustively over havoc memory, yielding a static lint of
+//!   the hand-written reduction hooks ([`lint_model`]) and
+//!   location-sensitive future-access sets that sharpen ample-set
+//!   selection ([`MayAccessMode::Automaton`]).
 //! * [`merge`] — Lemma 2's merge construction: extract solo-run profiles,
 //!   test the lemma's condition, and build the forbidden two-winner run
 //!   when an algorithm violates it.
@@ -41,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adversary;
+pub mod analysis;
 pub mod checks;
 pub mod csr;
 pub mod explore;
@@ -52,6 +58,10 @@ pub mod store;
 pub mod stress;
 
 pub use adversary::{naming_profile, NamingProfile};
+pub use analysis::{
+    lint_model, ControlAutomaton, ExtractError, Finding, FindingKind, FutureIndex, LintReport,
+    MayAccessMode,
+};
 pub use checks::{
     check_detection_progress, check_detection_safety, check_mutex_progress, check_mutex_safety,
     check_naming_progress, check_naming_uniqueness,

@@ -17,6 +17,7 @@
 //! | tournament: root level skipped | two subtree winners meet | safety |
 //! | tas: test-and-set success inverted | every later spinner walks in | safety |
 //! | tas: (claim) "spin locks are FCFS" | overtaken forever | liveness |
+//! | bakery: wait-scan footprint under-reported | hook lies about future accesses | static lint |
 
 mod common;
 
@@ -26,8 +27,8 @@ use cfc::mutex::mutation::{
 };
 use cfc::mutex::{Bakery, MutexAlgorithm, PetersonTwo, TasSpin, Tournament};
 use cfc::verify::{
-    check_mutex_progress, check_mutex_safety, check_mutex_starvation, replay, ExploreError,
-    ScheduleStep,
+    check_mutex_progress, check_mutex_safety, check_mutex_starvation, lint_model, replay,
+    ExploreError, FindingKind, ScheduleStep,
 };
 use common::budget;
 
@@ -114,6 +115,39 @@ fn bakery_skipped_exit_reset_is_killed_by_the_progress_checker() {
     let schedule = violation(err, "bakery/skip-exit-reset");
     assert_wedged(&mutant, 1, &schedule);
     check_mutex_progress(&Bakery::new(2), 1, budget(200_000)).unwrap();
+}
+
+#[test]
+fn bakery_under_reported_scan_is_killed_by_the_static_lint() {
+    // This mutant never misbehaves at runtime: every run is the textbook
+    // bakery's. Only the `protocol_footprint` *hook* lies, omitting the
+    // wait-scan suffix from the declared future accesses — a bug no
+    // explorer can observe in any single run, because the hook only
+    // shapes which interleavings partial-order reduction may skip.
+    let mutant = Bakery::new(3).with_mutation(BakeryMutation::UnderReportScan);
+    let clients: Vec<_> = (0..3)
+        .map(|i| mutant.client_with_cs(ProcessId::new(i), 1, 1))
+        .collect();
+    let report = lint_model(&mutant.layout(), &clients);
+    assert!(!report.is_clean(), "the lying hook must be flagged");
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.kind == FindingKind::FutureNotCovered),
+        "every finding is an uncovered future access: {:?}",
+        report.findings
+    );
+    // The runtime checkers cannot kill it — the algorithm is correct.
+    check_mutex_safety(&mutant, 1, budget(200_000)).unwrap();
+    check_mutex_progress(&mutant, 1, budget(200_000)).unwrap();
+    // And the honest hooks lint clean on the identical configuration.
+    let clean = Bakery::new(3);
+    let clients: Vec<_> = (0..3)
+        .map(|i| clean.client_with_cs(ProcessId::new(i), 1, 1))
+        .collect();
+    let report = lint_model(&clean.layout(), &clients);
+    assert!(report.is_clean(), "unmutated bakery: {:?}", report.findings);
 }
 
 // ---------------------------------------------------------------------
