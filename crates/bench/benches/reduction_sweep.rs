@@ -18,7 +18,7 @@
 //! `liveness_sweep` CSV artifact: verdict, bypass bound, and per-victim
 //! graph sizes across the same reduction variants.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cfc_bounds::table::TextTable;
 use cfc_mutex::{Bakery, LamportFast, PetersonTwo, TasSpin, Tournament};
@@ -91,12 +91,11 @@ fn run(
                 "-".into(),
                 "-".into(),
                 "(skipped)".into(),
+                "-".into(),
             ]);
             continue;
         }
-        let t = Instant::now();
         let stats = f(cfg).expect("sweep configs are safe");
-        let elapsed = t.elapsed();
         table.row([
             label.to_string(),
             variant.to_string(),
@@ -105,13 +104,11 @@ fn run(
             stats.terminals.to_string(),
             stats.states_pruned_por.to_string(),
             stats.orbits_merged.to_string(),
-            bytes_per_state(
-                stats.arena_bytes + stats.index_bytes + stats.edge_bytes,
-                stats.states,
-            ),
-            stats.arena_bytes.to_string(),
-            stats.spilled_buckets.to_string(),
-            format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
+            bytes_per_state(stats.footprint.total_bytes(), stats.states),
+            stats.footprint.arena_bytes.to_string(),
+            stats.footprint.spilled_buckets.to_string(),
+            format!("{:.1}", stats.wall_ns as f64 / 1e6),
+            stats.states_per_sec().to_string(),
         ]);
     }
 }
@@ -137,12 +134,11 @@ fn run_progress(
                 "-".into(),
                 "-".into(),
                 "(skipped)".into(),
+                "-".into(),
             ]);
             continue;
         }
-        let t = Instant::now();
         let stats = f(cfg).expect("sweep configs are deadlock-free");
-        let elapsed = t.elapsed();
         table.row([
             label.to_string(),
             variant.to_string(),
@@ -151,13 +147,11 @@ fn run_progress(
             stats.terminals.to_string(),
             stats.states_pruned_por.to_string(),
             stats.orbits_merged.to_string(),
-            bytes_per_state(
-                stats.arena_bytes + stats.index_bytes + stats.edge_bytes,
-                stats.states,
-            ),
-            stats.arena_bytes.to_string(),
-            stats.spilled_buckets.to_string(),
-            format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
+            bytes_per_state(stats.footprint.total_bytes(), stats.states),
+            stats.footprint.arena_bytes.to_string(),
+            stats.footprint.spilled_buckets.to_string(),
+            format!("{:.1}", stats.wall_ns as f64 / 1e6),
+            stats.states_per_sec().to_string(),
         ]);
     }
 }
@@ -175,7 +169,8 @@ fn print_progress_sweep() {
         "bytes_per_state",
         "arena_bytes",
         "spilled_buckets",
-        "wall",
+        "wall_ms",
+        "states_per_sec",
     ]);
     run_progress(
         "progress tournament n=4 l=1",
@@ -242,12 +237,11 @@ fn run_liveness(
                 "-".into(),
                 "-".into(),
                 "(skipped)".into(),
+                "-".into(),
             ]);
             continue;
         }
-        let t = Instant::now();
         let report = f(cfg).expect("sweep configs fit the budget");
-        let elapsed = t.elapsed();
         let (verdict, bypass) = match &report.verdict {
             LivenessVerdict::StarvationFree {
                 bypass: Some(b),
@@ -277,7 +271,8 @@ fn run_liveness(
             report.stats.states.to_string(),
             report.stats.victims.to_string(),
             report.stats.graphs.to_string(),
-            format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
+            format!("{:.1}", report.stats.wall_ns as f64 / 1e6),
+            report.stats.states_per_sec().to_string(),
         ]);
     }
 }
@@ -292,7 +287,8 @@ fn print_liveness_sweep() {
         "states",
         "victims",
         "graphs",
-        "wall",
+        "wall_ms",
+        "states_per_sec",
     ]);
     run_liveness(
         "starvation peterson",
@@ -363,7 +359,8 @@ fn print_sweep() {
         "bytes_per_state",
         "arena_bytes",
         "spilled_buckets",
-        "wall",
+        "wall_ms",
+        "states_per_sec",
     ]);
     run(
         "tas-scan n=4 crashes=2",
@@ -439,9 +436,7 @@ fn run_modes(
     ] {
         let mut declared_states = 0usize;
         for mode in [MayAccessMode::Declared, MayAccessMode::Automaton] {
-            let t = Instant::now();
             let stats = f(cfg.with_may_access(mode)).expect("sweep configs are safe");
-            let elapsed = t.elapsed();
             let ratio = match mode {
                 MayAccessMode::Declared => {
                     declared_states = stats.states;
@@ -462,7 +457,8 @@ fn run_modes(
                 stats.transitions.to_string(),
                 stats.states_pruned_por.to_string(),
                 ratio,
-                format!("{:.1}ms", elapsed.as_secs_f64() * 1e3),
+                format!("{:.1}", stats.wall_ns as f64 / 1e6),
+                stats.states_per_sec().to_string(),
             ]);
         }
     }
@@ -478,7 +474,8 @@ fn print_may_access_sweep() {
         "transitions",
         "pruned(POR)",
         "states_vs_declared",
-        "wall",
+        "wall_ms",
+        "states_per_sec",
     ]);
     run_modes(
         "bakery n=3 trips=1",

@@ -67,6 +67,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bitop;
+mod clock;
 mod codec;
 mod error;
 mod exec;
@@ -85,6 +86,7 @@ mod trace;
 mod value;
 
 pub use bitop::BitOp;
+pub use clock::{Clock, ManualClock, WallClock};
 pub use codec::{LayoutCodec, StateCodec, StateReader, StateWriter};
 pub use error::{ExecError, LayoutError, MemoryError};
 pub use exec::{run_schedule, run_sequential, run_solo, ExecConfig, Executor, Outcome, Status};

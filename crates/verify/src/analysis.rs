@@ -48,6 +48,8 @@ use std::hash::Hash;
 
 use cfc_core::{op_result_domain, Footprint, Layout, OpResult, Process, RegisterSet, Step};
 
+use crate::telemetry::{self, Phase, Sample};
+
 /// Which future-access over-approximation ample-set selection consults.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum MayAccessMode {
@@ -346,6 +348,8 @@ pub struct LintReport {
     pub processes: usize,
     /// Total automaton locations across all processes.
     pub locations: usize,
+    /// Wall-clock time of the lint, in nanoseconds (telemetry clock).
+    pub wall_ns: u64,
 }
 
 impl LintReport {
@@ -365,6 +369,8 @@ pub fn lint_model<P>(layout: &Layout, procs: &[P]) -> LintReport
 where
     P: Process + Clone + Eq + Hash,
 {
+    let tel = telemetry::runtime(false);
+    let span = tel.span(Phase::Lint);
     let mut report = LintReport {
         processes: procs.len(),
         ..LintReport::default()
@@ -445,6 +451,11 @@ where
     report
         .findings
         .sort_by_key(|f| (f.process, f.location, f.kind));
+    report.wall_ns = span.finish(Sample {
+        states: report.locations as u64,
+        transitions: report.findings.len() as u64,
+        ..Sample::default()
+    });
     report
 }
 
@@ -498,6 +509,17 @@ impl<P: Process + Clone + Eq + Hash> FutureIndex<P> {
             }
         }
         idx
+    }
+
+    /// Number of indexed entries (location keys plus by-value states) —
+    /// the work a telemetry `extract-automaton` span attributes.
+    pub fn len(&self) -> usize {
+        self.by_loc.len() + self.by_state.len()
+    }
+
+    /// True when no automaton could be extracted.
+    pub fn is_empty(&self) -> bool {
+        self.by_loc.is_empty() && self.by_state.is_empty()
     }
 
     /// The future-access set of a local state, or `None` when the state

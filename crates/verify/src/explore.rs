@@ -95,6 +95,7 @@ use crate::graph::{
     Order, TraversalSpec,
 };
 use crate::store::{IndexMode, StoreMode};
+use crate::telemetry::{self, Phase, Sample, StoreFootprint};
 
 /// Limits and reduction switches for an exploration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -147,6 +148,11 @@ pub struct ExploreConfig {
     /// future-access sets, falling back to the declared hook for any
     /// state the automaton cannot resolve. Ignored when `por` is off.
     pub may_access: MayAccessMode,
+    /// Print a live stderr heartbeat while this exploration runs (the
+    /// `CFC_PROGRESS` environment variable turns this on globally; see
+    /// [`crate::telemetry`]). Purely observational: no count, verdict,
+    /// or schedule ever depends on it.
+    pub progress: bool,
 }
 
 impl Default for ExploreConfig {
@@ -160,6 +166,7 @@ impl Default for ExploreConfig {
             index: IndexMode::Open,
             spill_budget_bytes: None,
             may_access: MayAccessMode::Declared,
+            progress: false,
         }
     }
 }
@@ -216,6 +223,13 @@ impl ExploreConfig {
         self.may_access = may_access;
         self
     }
+
+    /// Enables (or disables) the live stderr heartbeat.
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
 }
 
 /// Statistics of a completed exploration.
@@ -239,23 +253,36 @@ pub struct ExploreStats {
     /// baseline too). Counted by **exact** comparison against the stored
     /// first visitor, so a hash collision can never miscount a merge.
     pub orbits_merged: u64,
-    /// Bytes of canonical state payload held by the visited store at the
-    /// end of the search: exact arena bytes under [`StoreMode::Packed`],
-    /// an estimated per-node heap footprint times the state count under
-    /// [`StoreMode::Boxed`] — comparable across backends.
-    pub arena_bytes: u64,
-    /// Heap bytes held by the visited store's digest index: exact slot
-    /// bytes under [`IndexMode::Open`], comparable estimates for the
-    /// chained oracle and the boxed backend's buckets.
-    pub index_bytes: u64,
-    /// Bytes held by the recorded edge structure (packed CSR payload
-    /// plus offsets). Always 0 for the safety DFS, which records no
-    /// graph.
-    pub edge_bytes: u64,
-    /// Arena segments (state and edge) written to the spill tier (0
-    /// unless [`ExploreConfig::spill_budget_bytes`] forced cold segments
-    /// out).
-    pub spilled_buckets: u64,
+    /// Store, index, and edge memory at the end of the search: exact
+    /// bytes under [`StoreMode::Packed`] / [`IndexMode::Open`],
+    /// comparable estimates for the boxed/chained oracles.
+    /// `edge_bytes` is always 0 for the safety DFS, which records no
+    /// graph; `spilled_buckets` is 0 unless
+    /// [`ExploreConfig::spill_budget_bytes`] forced cold segments out.
+    pub footprint: StoreFootprint,
+    /// Wall time of the search in nanoseconds, measured by the
+    /// telemetry clock — the ambient [`crate::telemetry::Telemetry`]
+    /// clock if one is installed (deterministic in tests), the real
+    /// monotonic clock otherwise.
+    pub wall_ns: u64,
+}
+
+impl ExploreStats {
+    /// Cumulative throughput over the whole search, `states / wall`
+    /// (integer states-per-second; 0 when no time was observed). Equals
+    /// the `states_per_sec` of the final telemetry snapshot.
+    pub fn states_per_sec(&self) -> u64 {
+        crate::telemetry::rate_per_sec(self.states as u64, self.wall_ns)
+    }
+
+    /// This stats value with the wall-clock field zeroed — what the
+    /// differential suites compare, since two byte-identical searches
+    /// still differ in elapsed time.
+    #[must_use]
+    pub fn sans_wall(mut self) -> Self {
+        self.wall_ns = 0;
+        self
+    }
 }
 
 /// One scheduling decision on a violating path.
@@ -441,6 +468,7 @@ where
         normalizer: None,
         served: None,
         crash_budget: config.max_crashes,
+        phase: Phase::SafetyDfs,
     };
     let mut builder = GraphBuilder::new(memory, config, spec, procs.len());
     let t = builder.run_dfs(procs, state_check, terminal_check)?;
@@ -450,10 +478,8 @@ where
         terminals: t.terminals,
         states_pruned_por: t.states_pruned_por,
         orbits_merged: t.orbits_merged,
-        arena_bytes: t.arena_bytes,
-        index_bytes: t.index_bytes,
-        edge_bytes: t.edge_bytes,
-        spilled_buckets: t.spilled_buckets,
+        footprint: t.footprint,
+        wall_ns: t.wall_ns,
     })
 }
 
@@ -474,17 +500,30 @@ pub struct ProgressStats {
     /// symmetry orbit that differs from them as a concrete state (plain
     /// revisits of the canonical representative are not merges).
     pub orbits_merged: u64,
-    /// Bytes of canonical state payload held by the graph's node store
-    /// (see [`ExploreStats::arena_bytes`]).
-    pub arena_bytes: u64,
-    /// Heap bytes held by the node store's digest index (see
-    /// [`ExploreStats::index_bytes`]).
-    pub index_bytes: u64,
-    /// Bytes held by the recorded CSR edge structure (packed edge
-    /// payload plus offsets; see [`ExploreStats::edge_bytes`]).
-    pub edge_bytes: u64,
-    /// Arena segments (state and edge) written to the spill tier.
-    pub spilled_buckets: u64,
+    /// Store, index, and edge memory of the built graph (see
+    /// [`ExploreStats::footprint`]; the progress graph always records
+    /// edges, so `edge_bytes` is populated).
+    pub footprint: StoreFootprint,
+    /// Wall time of the whole check — graph build plus back-propagation
+    /// — in nanoseconds, measured by the telemetry clock (see
+    /// [`ExploreStats::wall_ns`]).
+    pub wall_ns: u64,
+}
+
+impl ProgressStats {
+    /// Cumulative throughput over the whole check, `states / wall`
+    /// (integer states-per-second; 0 when no time was observed).
+    pub fn states_per_sec(&self) -> u64 {
+        crate::telemetry::rate_per_sec(self.states as u64, self.wall_ns)
+    }
+
+    /// This stats value with the wall-clock field zeroed (see
+    /// [`ExploreStats::sans_wall`]).
+    #[must_use]
+    pub fn sans_wall(mut self) -> Self {
+        self.wall_ns = 0;
+        self
+    }
 }
 
 /// Exhaustively verifies *possibility of progress* under the trivial
@@ -557,6 +596,14 @@ where
     P: Process + Clone + Eq + Hash,
 {
     let n = procs.len();
+    // The outer span wraps the graph build and the back-propagation;
+    // its wall time is what the returned stats report. Spans opened by
+    // the builder (progress-bfs, extract-automaton) nest inside it.
+    // `runtime` + ambient install means the env-hook sinks see the
+    // wrapper span too, and the builder attaches nothing on top.
+    let tel = telemetry::runtime(config.progress);
+    let _tel_guard = telemetry::install(&tel);
+    let check_span = tel.span(Phase::ProgressCheck);
     let spec = TraversalSpec {
         order: Order::Bfs,
         record_edges: true,
@@ -565,23 +612,23 @@ where
         normalizer: None,
         served: None,
         crash_budget: config.max_crashes,
+        phase: Phase::ProgressBfs,
     };
     let mut builder = GraphBuilder::new(memory, config, spec, n);
     let (g, t) = builder.build_graph(procs.clone())?;
-    let stats = ProgressStats {
+    let mut stats = ProgressStats {
         states: t.states,
         transitions: t.transitions,
         terminals: t.terminals,
         states_pruned_por: t.states_pruned_por,
         orbits_merged: t.orbits_merged,
-        arena_bytes: t.arena_bytes,
-        index_bytes: t.index_bytes,
-        edge_bytes: t.edge_bytes,
-        spilled_buckets: t.spilled_buckets,
+        footprint: t.footprint,
+        wall_ns: 0, // the whole-check wall, set at the span close below
     };
 
     // Back-propagate reachability of quiescence over reversed edges
     // (memoized CSR: two flat arrays, not a per-call Vec<Vec>).
+    let bp_span = tel.span(Phase::BackPropagation);
     let states = g.len();
     let rev_edges = g.reversed();
     let mut can_finish = g.terminal.clone();
@@ -594,6 +641,11 @@ where
             }
         }
     }
+    bp_span.finish(Sample {
+        states: states as u64,
+        transitions: t.transitions,
+        ..Sample::default()
+    });
 
     if let Some(stuck) = (0..states).find(|&i| !can_finish[i]) {
         let stuck_count = can_finish.iter().filter(|c| !**c).count();
@@ -608,6 +660,15 @@ where
         })));
     }
 
+    stats.wall_ns = check_span.finish(Sample {
+        states: stats.states as u64,
+        transitions: stats.transitions,
+        frontier: 0,
+        depth: 0,
+        states_pruned_por: stats.states_pruned_por,
+        orbits_merged: stats.orbits_merged,
+        footprint: stats.footprint,
+    });
     Ok(stats)
 }
 

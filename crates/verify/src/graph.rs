@@ -45,6 +45,7 @@ pub(crate) use crate::csr::GEdge;
 use crate::csr::{EdgeArena, ReversedCsr};
 use crate::explore::{ExploreConfig, ExploreError, ScheduleStep, StateView, Violation};
 use crate::store::{IndexMode, NodeStore, StoreMode, VisitOutcome};
+use crate::telemetry::{self, Phase, Sample, StoreFootprint};
 
 /// A global state of the explored system.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -545,6 +546,11 @@ pub(crate) struct TraversalSpec<'a, P> {
     /// [`ExploreConfig::max_crashes`] so wrappers that thread a separate
     /// crash budget state it in one place.
     pub(crate) crash_budget: u32,
+    /// The telemetry phase this traversal's span and snapshots are
+    /// attributed to (the BFS loop serves both the progress checker and
+    /// the liveness graph builder; the phase tells them apart in the
+    /// event stream).
+    pub(crate) phase: Phase,
 }
 
 impl<P> std::fmt::Debug for TraversalSpec<'_, P> {
@@ -556,6 +562,7 @@ impl<P> std::fmt::Debug for TraversalSpec<'_, P> {
             .field("normalizer", &self.normalizer.is_some())
             .field("served", &self.served.is_some())
             .field("crash_budget", &self.crash_budget)
+            .field("phase", &self.phase)
             .finish()
     }
 }
@@ -628,17 +635,14 @@ pub(crate) struct TraversalStats {
     pub(crate) terminals: usize,
     pub(crate) states_pruned_por: u64,
     pub(crate) orbits_merged: u64,
-    /// Bytes of canonical state payload held by the visited store (exact
-    /// in packed mode, an estimated equivalent in boxed mode).
-    pub(crate) arena_bytes: u64,
-    /// Heap bytes held by the digest index (exact for the open table,
-    /// comparable estimates for the chained/boxed structures).
-    pub(crate) index_bytes: u64,
-    /// Bytes held by the CSR edge structure (packed edge payload plus
-    /// offsets); zero for the DFS and for BFS without edge recording.
-    pub(crate) edge_bytes: u64,
-    /// Arena segments (state and edge) written to the spill tier.
-    pub(crate) spilled_buckets: u64,
+    /// Store/index/edge bytes and spill counts (exact in packed mode,
+    /// comparable estimates for the boxed/chained structures;
+    /// `edge_bytes` is zero for the DFS and for BFS without edge
+    /// recording).
+    pub(crate) footprint: StoreFootprint,
+    /// Wall time of the traversal, measured by the telemetry clock
+    /// (ambient, so tests can inject a deterministic one).
+    pub(crate) wall_ns: u64,
 }
 
 /// One link of a DFS schedule, shared structurally between stack entries:
@@ -647,6 +651,9 @@ pub(crate) struct TraversalStats {
 /// parent pointer costs O(1) and materializes only on violation.
 struct PathLink {
     step: ScheduleStep,
+    /// Steps from the root (parent depth + 1): telemetry snapshots
+    /// report the current DFS path depth without walking the chain.
+    depth: u32,
     parent: Option<Rc<PathLink>>,
 }
 
@@ -686,6 +693,7 @@ pub(crate) struct GraphBuilder<'a, P> {
     store_mode: StoreMode,
     index_mode: IndexMode,
     spill_budget: Option<usize>,
+    progress: bool,
 }
 
 impl<P> std::fmt::Debug for GraphBuilder<'_, P> {
@@ -729,6 +737,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             store_mode: config.store,
             index_mode: config.index,
             spill_budget: config.spill_budget_bytes,
+            progress: config.progress,
         }
     }
 
@@ -772,10 +781,17 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         let n = procs.len();
         let normalizer = self.spec.normalizer;
         let mode = self.spec.ample_mode;
+        let tel = telemetry::runtime(self.progress);
+        let mut span = tel.span(self.spec.phase);
         let engine = &mut self.engine;
 
         if engine.wants_automaton() {
+            let auto_span = tel.span(Phase::ExtractAutomaton);
             let index = FutureIndex::build(engine.template().layout(), &procs);
+            auto_span.finish(Sample {
+                states: index.len() as u64,
+                ..Sample::default()
+            });
             engine.set_future_index(index);
         }
         let mut root = engine.root(procs);
@@ -820,6 +836,20 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             if stats.states > self.max_states {
                 return Err(ExploreError::StateBudget(stats.states));
             }
+            span.tick(|| Sample {
+                states: stats.states as u64,
+                transitions: stats.transitions,
+                frontier: stack.len() as u64,
+                depth: path.as_ref().map_or(0, |l| l.depth as u64),
+                states_pruned_por: stats.states_pruned_por,
+                orbits_merged: stats.orbits_merged,
+                footprint: StoreFootprint {
+                    arena_bytes: visited.arena_bytes(),
+                    index_bytes: visited.index_bytes(),
+                    edge_bytes: 0,
+                    spilled_buckets: visited.spilled_buckets(),
+                },
+            });
 
             let mem = engine.memory_of(&node);
             let view = StateView {
@@ -847,6 +877,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                 continue;
             }
 
+            let depth = path.as_ref().map_or(0, |l| l.depth) + 1;
             match engine.expand(&node, &runnable, mode, |key| visited.contains(key))? {
                 Expansion::Ample { pid, mut succ, .. } => {
                     stats.states_pruned_por += runnable.len() as u64 - 1;
@@ -854,6 +885,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                     Self::normalize(normalizer, &mut succ);
                     let link = Rc::new(PathLink {
                         step: ScheduleStep::Step(pid),
+                        depth,
                         parent: path,
                     });
                     stack.push((succ, Some(link)));
@@ -864,6 +896,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                         Self::normalize(normalizer, &mut succ);
                         let link = Rc::new(PathLink {
                             step,
+                            depth,
                             parent: path.clone(),
                         });
                         stack.push((succ, Some(link)));
@@ -871,9 +904,21 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                 }
             }
         }
-        stats.arena_bytes = visited.arena_bytes();
-        stats.index_bytes = visited.index_bytes();
-        stats.spilled_buckets = visited.spilled_buckets();
+        stats.footprint = StoreFootprint {
+            arena_bytes: visited.arena_bytes(),
+            index_bytes: visited.index_bytes(),
+            edge_bytes: 0,
+            spilled_buckets: visited.spilled_buckets(),
+        };
+        stats.wall_ns = span.finish(Sample {
+            states: stats.states as u64,
+            transitions: stats.transitions,
+            frontier: 0,
+            depth: 0,
+            states_pruned_por: stats.states_pruned_por,
+            orbits_merged: stats.orbits_merged,
+            footprint: stats.footprint,
+        });
         Ok(stats)
     }
 
@@ -898,11 +943,18 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         let served_hook = self.spec.served;
         let record = self.spec.record_edges;
         let mode = self.spec.ample_mode;
+        let tel = telemetry::runtime(self.progress);
+        let mut span = tel.span(self.spec.phase);
         let engine = &mut self.engine;
         let mut stats = TraversalStats::default();
 
         if engine.wants_automaton() {
+            let auto_span = tel.span(Phase::ExtractAutomaton);
             let index = FutureIndex::build(engine.template().layout(), &procs);
+            auto_span.finish(Sample {
+                states: index.len() as u64,
+                ..Sample::default()
+            });
             engine.set_future_index(index);
         }
         let mut root = engine.root(procs);
@@ -934,6 +986,20 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
 
         let mut cursor = 0usize;
         while cursor < g.store.len() {
+            span.tick(|| Sample {
+                states: g.store.len() as u64,
+                transitions: stats.transitions,
+                frontier: (g.store.len() - cursor) as u64,
+                depth: 0,
+                states_pruned_por: stats.states_pruned_por,
+                orbits_merged: stats.orbits_merged,
+                footprint: StoreFootprint {
+                    arena_bytes: g.store.arena_bytes(),
+                    index_bytes: g.store.index_bytes(),
+                    edge_bytes: g.edges.heap_bytes(),
+                    spilled_buckets: g.store.spilled_buckets() + g.edges.spilled_segs(),
+                },
+            });
             let current = g.store.node(cursor as u32);
             let runnable: Vec<usize> = (0..n)
                 .filter(|&i| current.status[i].runnable())
@@ -1014,10 +1080,21 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             cursor += 1;
         }
         stats.states = g.store.len();
-        stats.arena_bytes = g.store.arena_bytes();
-        stats.index_bytes = g.store.index_bytes();
-        stats.edge_bytes = g.edges.heap_bytes();
-        stats.spilled_buckets = g.store.spilled_buckets() + g.edges.spilled_segs();
+        stats.footprint = StoreFootprint {
+            arena_bytes: g.store.arena_bytes(),
+            index_bytes: g.store.index_bytes(),
+            edge_bytes: g.edges.heap_bytes(),
+            spilled_buckets: g.store.spilled_buckets() + g.edges.spilled_segs(),
+        };
+        stats.wall_ns = span.finish(Sample {
+            states: stats.states as u64,
+            transitions: stats.transitions,
+            frontier: 0,
+            depth: 0,
+            states_pruned_por: stats.states_pruned_por,
+            orbits_merged: stats.orbits_merged,
+            footprint: stats.footprint,
+        });
         Ok((g, stats))
     }
 }
@@ -1084,6 +1161,10 @@ mod tests {
             normalizer: None,
             served: None,
             crash_budget: 0,
+            phase: match order {
+                Order::Dfs => Phase::SafetyDfs,
+                Order::Bfs => Phase::ProgressBfs,
+            },
         }
     }
 
@@ -1131,7 +1212,11 @@ mod tests {
         assert_eq!(g.len(), stats.states);
         assert_eq!(g.edges.total_edges(), 0);
         assert_eq!(g.edges.nodes(), g.len(), "every node seals, even edgeless");
-        assert_eq!(stats.edge_bytes, (g.len() as u64 + 1) * 4, "offsets only");
+        assert_eq!(
+            stats.footprint.edge_bytes,
+            (g.len() as u64 + 1) * 4,
+            "offsets only"
+        );
         assert_eq!(g.first_pred[0], u32::MAX);
         for (id, &pred) in g.first_pred.iter().enumerate().skip(1) {
             assert!((pred as usize) < id, "creator ids decrease toward the root");

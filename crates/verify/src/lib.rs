@@ -30,6 +30,11 @@
 //! * [`stress`] — randomized long-run safety monitors for systems too
 //!   large to explore exhaustively, for both mutual exclusion and
 //!   naming, with seed-reported violations.
+//! * [`telemetry`] — the observability layer every driver above
+//!   reports through: phase spans, stride-sampled progress snapshots,
+//!   and store events, delivered to pluggable sinks (stderr heartbeat,
+//!   JSONL stream, in-memory recorder) that are provably passive —
+//!   attaching one cannot change any count or verdict.
 //!
 //! ```
 //! use cfc_verify::checks::check_mutex_safety;
@@ -56,6 +61,7 @@ pub mod liveness;
 pub mod merge;
 pub mod store;
 pub mod stress;
+pub mod telemetry;
 
 pub use adversary::{naming_profile, NamingProfile};
 pub use analysis::{
@@ -83,4 +89,8 @@ pub use merge::{
 };
 pub use stress::{
     stress_mutex, stress_naming, MutexViolation, NamingViolation, StressError, StressStats,
+};
+pub use telemetry::{
+    current as current_telemetry, with_telemetry, HeartbeatSink, JsonlSink, NoopSink, Observer,
+    Phase, Recorder, Sample, Snapshot, StoreFootprint, Telemetry, TelemetryEvent,
 };

@@ -100,6 +100,7 @@ use crate::explore::{replay, ExploreConfig, ExploreError, ScheduleStep};
 use crate::graph::{
     expand_step, AmpleMode, BuiltGraph, Engine, GEdge, GraphBuilder, Node, Order, TraversalSpec,
 };
+use crate::telemetry::{self, Phase, Sample, StoreFootprint};
 
 /// A borrowed state normalizer (see [`cfc_mutex::StateNormalizer`] for
 /// the owned form and the behavioral contract).
@@ -266,19 +267,44 @@ pub struct LivenessStats {
     pub states_pruned_por: u64,
     /// Successors folded into a distinct member of their orbit.
     pub orbits_merged: u64,
-    /// Bytes of canonical state payload across all per-victim node
-    /// stores (see `ExploreStats::arena_bytes` for the backend
-    /// semantics).
-    pub arena_bytes: u64,
-    /// Node-store arena segments written to the spill tier, summed over
-    /// all graphs (state and edge segments alike).
-    pub spilled_buckets: u64,
-    /// Bytes of digest-index overhead across all per-victim node stores
-    /// (see `ExploreStats::index_bytes`).
-    pub index_bytes: u64,
-    /// Bytes of CSR edge storage (packed records + offsets) across all
-    /// per-victim graphs.
-    pub edge_bytes: u64,
+    /// Store, index, and edge memory summed over all per-victim graphs
+    /// (see `ExploreStats::footprint` for the backend semantics;
+    /// `spilled_buckets` sums state and edge segments alike).
+    pub footprint: StoreFootprint,
+    /// Wall time of the whole check — every graph build, SCC analysis,
+    /// and witness validation — in nanoseconds, measured by the
+    /// telemetry clock (see `ExploreStats::wall_ns`).
+    pub wall_ns: u64,
+}
+
+impl LivenessStats {
+    /// Cumulative throughput over the whole check, `states / wall`
+    /// (integer states-per-second; 0 when no time was observed).
+    pub fn states_per_sec(&self) -> u64 {
+        crate::telemetry::rate_per_sec(self.states as u64, self.wall_ns)
+    }
+
+    /// This stats value with the wall-clock field zeroed (see
+    /// `ExploreStats::sans_wall`).
+    #[must_use]
+    pub fn sans_wall(mut self) -> Self {
+        self.wall_ns = 0;
+        self
+    }
+
+    /// The final telemetry sample of a liveness check: the summed
+    /// counters, attributed to the `liveness-check` span.
+    fn final_sample(&self) -> Sample {
+        Sample {
+            states: self.states as u64,
+            transitions: self.transitions,
+            frontier: 0,
+            depth: 0,
+            states_pruned_por: self.states_pruned_por,
+            orbits_merged: self.orbits_merged,
+            footprint: self.footprint,
+        }
+    }
 }
 
 /// The result of a liveness check: the verdict plus search statistics.
@@ -405,6 +431,15 @@ where
         vec![(SymmetryGroup::trivial(n), (0..n).collect())]
     };
 
+    // The outer span wraps every per-victim graph build, SCC pass, and
+    // witness validation; its wall time is what the report's stats
+    // carry. Spans opened by the builder (liveness-graph,
+    // extract-automaton) and the per-victim passes nest inside it.
+    // `runtime` + ambient install means the env-hook sinks see the
+    // wrapper span too, and the builder attaches nothing on top.
+    let tel = telemetry::runtime(config.progress);
+    let _tel_guard = telemetry::install(&tel);
+    let check_span = tel.span(Phase::LivenessCheck);
     let mut stats = LivenessStats::default();
     let mut bypass: Option<u64> = Some(0);
     let mut bypass_witness: Option<Box<BypassWitness>> = None;
@@ -417,27 +452,40 @@ where
             liveness_graph(&memory, &procs, group.clone(), config, spec, &mut stats)?;
         for v in victims {
             stats.victims += 1;
+            let scc_span = tel.span(Phase::SccAnalysis);
             let candidates = find_fair_starvation(&graph, v, spec);
+            scc_span.finish(Sample {
+                states: graph.len() as u64,
+                ..Sample::default()
+            });
             let mut confirmed = None;
-            for scc in &candidates {
-                let Some(witness) = extract_witness(
-                    builder.engine(),
-                    &graph,
-                    scc,
-                    v,
-                    spec,
-                    procs.clone(),
-                    group.order(),
-                ) else {
-                    continue;
-                };
-                if validate_lasso(&memory, &procs, &witness, spec).is_ok() {
-                    confirmed = Some(witness);
-                    break;
+            if !candidates.is_empty() {
+                let witness_span = tel.span(Phase::WitnessValidation);
+                for scc in &candidates {
+                    let Some(witness) = extract_witness(
+                        builder.engine(),
+                        &graph,
+                        scc,
+                        v,
+                        spec,
+                        procs.clone(),
+                        group.order(),
+                    ) else {
+                        continue;
+                    };
+                    if validate_lasso(&memory, &procs, &witness, spec).is_ok() {
+                        confirmed = Some(witness);
+                        break;
+                    }
+                    debug_assert!(sym_quotient, "exact candidates must validate");
                 }
-                debug_assert!(sym_quotient, "exact candidates must validate");
+                witness_span.finish(Sample {
+                    states: candidates.len() as u64,
+                    ..Sample::default()
+                });
             }
             if let Some(witness) = confirmed {
+                stats.wall_ns = check_span.finish(stats.final_sample());
                 return Ok(LivenessReport {
                     verdict: LivenessVerdict::Starvable(Box::new(witness)),
                     stats,
@@ -454,7 +502,14 @@ where
                         Some(exact_graph(&memory, &procs, config, spec, &mut stats)?);
                 }
                 let (exact_builder, exact) = exact_cache.as_ref().expect("just built");
-                if let Some(scc) = find_fair_starvation(exact, v, spec).first() {
+                let scc_span = tel.span(Phase::SccAnalysis);
+                let exact_candidates = find_fair_starvation(exact, v, spec);
+                scc_span.finish(Sample {
+                    states: exact.len() as u64,
+                    ..Sample::default()
+                });
+                if let Some(scc) = exact_candidates.first() {
+                    let witness_span = tel.span(Phase::WitnessValidation);
                     let witness = extract_witness(
                         exact_builder.engine(),
                         exact,
@@ -467,6 +522,11 @@ where
                     .expect("exact fair SCCs concretize");
                     validate_lasso(&memory, &procs, &witness, spec)
                         .expect("exact lassos validate against the un-reduced semantics");
+                    witness_span.finish(Sample {
+                        states: 1,
+                        ..Sample::default()
+                    });
+                    stats.wall_ns = check_span.finish(stats.final_sample());
                     return Ok(LivenessReport {
                         verdict: LivenessVerdict::Starvable(Box::new(witness)),
                         stats,
@@ -578,6 +638,7 @@ where
             }
         }
     }
+    stats.wall_ns = check_span.finish(stats.final_sample());
     Ok(LivenessReport {
         verdict: LivenessVerdict::StarvationFree {
             bypass,
@@ -610,6 +671,7 @@ where
         normalizer: spec.normalize,
         served: Some(spec.served),
         crash_budget: config.max_crashes,
+        phase: Phase::LivenessGraph,
     };
     let mut builder = GraphBuilder::new(memory.clone(), config, traversal, procs.len());
     let (graph, t) = builder.build_graph(procs.to_vec())?;
@@ -617,10 +679,7 @@ where
     stats.transitions += t.transitions;
     stats.states_pruned_por += t.states_pruned_por;
     stats.orbits_merged += t.orbits_merged;
-    stats.arena_bytes += t.arena_bytes;
-    stats.spilled_buckets += t.spilled_buckets;
-    stats.index_bytes += t.index_bytes;
-    stats.edge_bytes += t.edge_bytes;
+    stats.footprint.accumulate(&t.footprint);
     stats.graphs += 1;
     Ok((builder, graph))
 }

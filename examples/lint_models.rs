@@ -8,7 +8,12 @@
 //! A clean report is the precondition for trusting any reduced
 //! verdict — CI runs this with `--deny-findings`.
 //!
-//! Run with: `cargo run --example lint_models [-- --deny-findings]`
+//! Run with: `cargo run --example lint_models [-- --deny-findings] [-- --progress]`
+//!
+//! `--progress` installs a stderr heartbeat sink (the same one
+//! `CFC_PROGRESS=1` enables on the exhaustive drivers), so each
+//! family's `lint` phase span is visible live; the per-family wall
+//! time in the report comes from the same telemetry clock.
 
 use std::hash::Hash;
 use std::process::ExitCode;
@@ -18,7 +23,7 @@ use cfc::mutex::{
     Bakery, DetectionAlgorithm, MutexAlgorithm, PetersonTwo, Splitter, Tournament,
 };
 use cfc::naming::{NamingAlgorithm, TafTree, TasScan};
-use cfc::verify::lint_model;
+use cfc::verify::{lint_model, with_telemetry, HeartbeatSink, Telemetry};
 
 fn lint<P>(name: &str, layout: &Layout, procs: &[P]) -> usize
 where
@@ -26,10 +31,11 @@ where
 {
     let report = lint_model(layout, procs);
     println!(
-        "{name:<14} processes {:>2}   locations {:>4}   findings {:>2}",
+        "{name:<14} processes {:>2}   locations {:>4}   findings {:>2}   wall {:>7.3}ms",
         report.processes,
         report.locations,
-        report.findings.len()
+        report.findings.len(),
+        report.wall_ns as f64 / 1e6,
     );
     for f in &report.findings {
         println!("    {f}");
@@ -37,11 +43,8 @@ where
     report.findings.len()
 }
 
-fn main() -> ExitCode {
-    let deny = std::env::args().any(|a| a == "--deny-findings");
+fn lint_all() -> usize {
     let mut total = 0usize;
-
-    println!("== Reduction-hook lint: solo control automata ==\n");
 
     let peterson = PetersonTwo::new();
     let procs: Vec<_> = (0..2)
@@ -70,6 +73,22 @@ fn main() -> ExitCode {
     let splitter = Splitter::new(3);
     let procs: Vec<_> = (0..3).map(|i| splitter.process(ProcessId::new(i))).collect();
     total += lint("splitter", &splitter.layout(), &procs);
+
+    total
+}
+
+fn main() -> ExitCode {
+    let deny = std::env::args().any(|a| a == "--deny-findings");
+    let progress = std::env::args().any(|a| a == "--progress");
+
+    println!("== Reduction-hook lint: solo control automata ==\n");
+
+    let total = if progress {
+        let tel = Telemetry::new().with_sink(HeartbeatSink::stderr(1.0));
+        with_telemetry(&tel, lint_all)
+    } else {
+        lint_all()
+    };
 
     println!("\n{total} finding(s) across all families");
     if deny && total > 0 {

@@ -225,7 +225,7 @@ fn exhaustive_tournament_seven_packed() {
         "expected to clear the old 5M ceiling, visited only {}",
         stats.states
     );
-    let bytes_per_state = stats.arena_bytes as f64 / stats.states as f64;
+    let bytes_per_state = stats.footprint.arena_bytes as f64 / stats.states as f64;
     assert!(
         bytes_per_state < 64.0,
         "packed stride regressed to {bytes_per_state:.1} B/state"
@@ -247,8 +247,7 @@ fn exhaustive_tournament_eight_packed() {
         "expected an order of magnitude past the n=7 target, visited only {}",
         stats.states
     );
-    let bytes_per_state =
-        (stats.arena_bytes + stats.index_bytes + stats.edge_bytes) as f64 / stats.states as f64;
+    let bytes_per_state = stats.footprint.total_bytes() as f64 / stats.states as f64;
     assert!(
         bytes_per_state < 64.0,
         "total per-state footprint regressed to {bytes_per_state:.1} B/state"
@@ -275,8 +274,8 @@ fn exhaustive_tournament_five_spill_differential() {
     assert_eq!(resident.states_pruned_por, spilled.states_pruned_por);
     assert_eq!(resident.orbits_merged, spilled.orbits_merged);
     assert!(
-        spilled.spilled_buckets > 0,
+        spilled.footprint.spilled_buckets > 0,
         "a 2 MiB budget must force spilling on a {}-byte arena",
-        resident.arena_bytes
+        resident.footprint.arena_bytes
     );
 }

@@ -161,14 +161,14 @@ fn open_index_is_exact_across_the_spill_tier() {
     let base_cfg = common::por_only(25_000);
     let resident = check_mutex_safety(&LamportFast::new(3), 1, base_cfg).unwrap();
     assert!(
-        resident.arena_bytes > 128 * 1024,
+        resident.footprint.arena_bytes > 128 * 1024,
         "arena too small to exercise spilling ({} bytes); use a larger instance",
-        resident.arena_bytes
+        resident.footprint.arena_bytes
     );
     let spilled =
         check_mutex_safety(&LamportFast::new(3), 1, base_cfg.with_spill_budget(0)).unwrap();
     assert_eq!(counts(&resident), counts(&spilled), "spilling changed search counts");
-    assert!(spilled.spilled_buckets > 0, "budget 0 spilled nothing");
+    assert!(spilled.footprint.spilled_buckets > 0, "budget 0 spilled nothing");
 }
 
 /// The sixteen-walker test-and-flip tree — the next power-of-two scale
@@ -194,10 +194,10 @@ fn exhaustive_taf_tree_sixteen() {
         open.states
     );
     assert!(
-        open.index_bytes < chained.index_bytes,
+        open.footprint.index_bytes < chained.footprint.index_bytes,
         "open index must beat the chained oracle at scale ({} vs {})",
-        open.index_bytes,
-        chained.index_bytes
+        open.footprint.index_bytes,
+        chained.footprint.index_bytes
     );
 }
 
@@ -217,16 +217,16 @@ fn open_index_overhead_beats_chained_and_meets_the_envelope() {
     // right after a doubling, so 3/5 of the chained footprint holds at
     // every table fill level — and is usually nearer 2/7.
     assert!(
-        open.index_bytes * 5 <= chained.index_bytes * 3,
+        open.footprint.index_bytes * 5 <= chained.footprint.index_bytes * 3,
         "open index not under 3/5 of the chained footprint ({} vs {} bytes over {} states)",
-        open.index_bytes,
-        chained.index_bytes,
+        open.footprint.index_bytes,
+        chained.footprint.index_bytes,
         open.states
     );
     // Doubling at a 7/8 load factor bounds the table at 16/7 slots per
     // state right after a growth — 64/7 ≈ 9.15 B/state worst case, ~4.6
     // at the 7/8 steady state.
-    let per_state = open.index_bytes as f64 / open.states as f64;
+    let per_state = open.footprint.index_bytes as f64 / open.states as f64;
     assert!(
         per_state <= 64.0 / 7.0 + 0.1,
         "open index overhead {per_state:.2} B/state exceeds the doubling-table worst case"

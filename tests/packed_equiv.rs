@@ -116,14 +116,14 @@ fn spilling_preserves_counts_and_reports_spilled_segments() {
     // segments to evict. If a layout change shrinks the encoding below
     // this, grow the instance rather than weakening the assertion.
     assert!(
-        resident.arena_bytes > 128 * 1024,
+        resident.footprint.arena_bytes > 128 * 1024,
         "arena too small to exercise spilling ({} bytes); use a larger instance",
-        resident.arena_bytes
+        resident.footprint.arena_bytes
     );
     let spilled = check_mutex_safety(&LamportFast::new(3), 1, base_cfg.with_spill_budget(0)).unwrap();
     assert_eq!(counts(&resident), counts(&spilled), "spilling changed search counts");
-    assert!(spilled.spilled_buckets > 0, "budget 0 spilled nothing");
-    assert_eq!(resident.spilled_buckets, 0, "unbudgeted run must not spill");
+    assert!(spilled.footprint.spilled_buckets > 0, "budget 0 spilled nothing");
+    assert_eq!(resident.footprint.spilled_buckets, 0, "unbudgeted run must not spill");
 }
 
 /// The acceptance bar for the representation itself: on both a
@@ -156,11 +156,11 @@ fn packed_store_is_at_most_half_the_boxed_footprint() {
     ] {
         assert_eq!(packed.states, boxed.states, "{label}: state counts diverged");
         assert!(
-            packed.arena_bytes * 2 <= boxed.arena_bytes,
+            packed.footprint.arena_bytes * 2 <= boxed.footprint.arena_bytes,
             "{label}: packed store not less than half the boxed footprint \
              ({} vs {} bytes over {} states)",
-            packed.arena_bytes,
-            boxed.arena_bytes,
+            packed.footprint.arena_bytes,
+            boxed.footprint.arena_bytes,
             packed.states
         );
     }
