@@ -435,14 +435,18 @@ fn run_modes(
         ),
     ] {
         let mut declared_states = 0usize;
-        for mode in [MayAccessMode::Declared, MayAccessMode::Automaton] {
+        for mode in [
+            MayAccessMode::Declared,
+            MayAccessMode::Automaton,
+            MayAccessMode::Dynamic,
+        ] {
             let stats = f(cfg.with_may_access(mode)).expect("sweep configs are safe");
             let ratio = match mode {
                 MayAccessMode::Declared => {
                     declared_states = stats.states;
                     "1.00".to_string()
                 }
-                MayAccessMode::Automaton => {
+                MayAccessMode::Automaton | MayAccessMode::Dynamic => {
                     format!("{:.2}", stats.states as f64 / declared_states.max(1) as f64)
                 }
             };
@@ -452,6 +456,7 @@ fn run_modes(
                 match mode {
                     MayAccessMode::Declared => "declared".to_string(),
                     MayAccessMode::Automaton => "automaton".to_string(),
+                    MayAccessMode::Dynamic => "dynamic".to_string(),
                 },
                 stats.states.to_string(),
                 stats.transitions.to_string(),
@@ -516,11 +521,117 @@ fn print_may_access_sweep() {
     );
 }
 
+/// Runs one configuration under the static automaton oracle and the
+/// dynamic (split-future + sleep-set) mode, tabulating the dynamic row
+/// with its pruning ratio against the static one. POR only, no
+/// symmetry, no crashes: the regime where sleep sets engage.
+fn run_dynamic(
+    label: &str,
+    f: impl Fn(ExploreConfig) -> Result<ExploreStats, ExploreError>,
+    table: &mut TextTable,
+) {
+    let base = ExploreConfig {
+        max_states: 4_000_000,
+        max_crashes: 0,
+        por: true,
+        symmetry: false,
+        ..ExploreConfig::default()
+    };
+    let mut static_states = 0usize;
+    let mut static_transitions = 0u64;
+    for mode in [MayAccessMode::Automaton, MayAccessMode::Dynamic] {
+        let stats = f(base.with_may_access(mode)).expect("sweep configs are safe");
+        let (mode_name, state_ratio, transition_ratio) = match mode {
+            MayAccessMode::Automaton => {
+                static_states = stats.states;
+                static_transitions = stats.transitions;
+                ("automaton", "1.00".to_string(), "1.00".to_string())
+            }
+            MayAccessMode::Dynamic => (
+                "dynamic",
+                format!("{:.2}", stats.states as f64 / static_states.max(1) as f64),
+                format!(
+                    "{:.2}",
+                    stats.transitions as f64 / static_transitions.max(1) as f64
+                ),
+            ),
+            MayAccessMode::Declared => unreachable!("dynamic sweep runs only the oracle pair"),
+        };
+        table.row([
+            label.to_string(),
+            mode_name.to_string(),
+            stats.states.to_string(),
+            stats.transitions.to_string(),
+            stats.states_pruned_por.to_string(),
+            stats.transitions_slept.to_string(),
+            state_ratio,
+            transition_ratio,
+            format!("{:.1}", stats.wall_ns as f64 / 1e6),
+            stats.states_per_sec().to_string(),
+        ]);
+    }
+}
+
+fn print_dynamic_sweep() {
+    println!("\n=== Dynamic reduction sweep (static automaton vs observed conflicts) ===\n");
+    let mut table = TextTable::new([
+        "config",
+        "may_access",
+        "states",
+        "transitions",
+        "pruned(POR)",
+        "slept",
+        "states_vs_static",
+        "transitions_vs_static",
+        "wall_ms",
+        "states_per_sec",
+    ]);
+    run_dynamic(
+        "bakery n=3 trips=1",
+        |cfg| check_mutex_safety(&Bakery::new(3), 1, cfg),
+        &mut table,
+    );
+    run_dynamic(
+        "peterson trips=2",
+        |cfg| check_mutex_safety(&PetersonTwo::new(), 2, cfg),
+        &mut table,
+    );
+    run_dynamic(
+        "tournament n=4 l=1",
+        |cfg| check_mutex_safety(&Tournament::new(4, 1), 1, cfg),
+        &mut table,
+    );
+    run_dynamic(
+        "splitter n=3 (detection)",
+        |cfg| check_detection_safety(&Splitter::new(3), cfg),
+        &mut table,
+    );
+    run_dynamic(
+        "tas-scan n=4",
+        |cfg| check_naming_uniqueness(&TasScan::new(4), 0, cfg),
+        &mut table,
+    );
+    println!("{table}");
+    if let Ok(path) = cfc_bench::write_artifact("dynamic_sweep", &table) {
+        println!("(csv artifact: {})\n", path.display());
+    }
+    println!(
+        "observed conflicts vs the static future-set oracle: the split\n\
+         read/write future sets commute steps the union set cannot (two\n\
+         future readers of the same flag are independent; the union view\n\
+         calls them conflicting), and the sleep-set pass then skips\n\
+         transitions whose interleavings a sibling branch already covers\n\
+         — the `slept` column counts those, the ratio columns price the\n\
+         static over-approximation.\n"
+    );
+}
+
 fn bench_reductions(c: &mut Criterion) {
     print_sweep();
     print_progress_sweep();
     print_liveness_sweep();
     print_may_access_sweep();
+    print_dynamic_sweep();
 
     let mut group = c.benchmark_group("reduction/tas_scan_n4_c2");
     for (variant, cfg) in variants(4_000_000, 2) {

@@ -110,6 +110,18 @@ impl RegisterSet {
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The set of registers in both `self` and `other`.
+    #[must_use]
+    pub fn intersection(&self, other: &RegisterSet) -> RegisterSet {
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        RegisterSet { words }
+    }
 }
 
 /// The read and write location sets of one atomic step.
@@ -174,6 +186,25 @@ impl Footprint {
     /// [`Process::may_access`]: crate::Process::may_access
     pub fn touches(&self, set: &RegisterSet) -> bool {
         self.reads.intersects(set) || self.writes.intersects(set)
+    }
+
+    /// Do two steps with these footprints conflict — the negation of
+    /// [`Footprint::independent`]? Conflicting steps do not commute, so
+    /// their order on a trace is observable: dynamic partial-order
+    /// reduction records exactly these pairs as happens-before edges.
+    pub fn conflicts_with(&self, other: &Footprint) -> bool {
+        !self.independent(other)
+    }
+
+    /// The locations two conflicting steps actually conflict *on*: every
+    /// register written by one and accessed by the other. Empty exactly
+    /// when the footprints are independent.
+    #[must_use]
+    pub fn conflict_registers(&self, other: &Footprint) -> RegisterSet {
+        let mut out = self.writes.intersection(&other.writes);
+        out.union_with(&self.writes.intersection(&other.reads));
+        out.union_with(&self.reads.intersection(&other.writes));
+        out
     }
 
     /// Does the step touch no shared location at all?
@@ -278,6 +309,37 @@ mod tests {
         assert!(!op.is_local());
         // Empty footprints are independent of everything.
         assert!(Footprint::default().independent(&op));
+    }
+
+    #[test]
+    fn conflict_registers_name_the_raced_locations() {
+        let (layout, a, b, _) = regs();
+        let read_a = Footprint::of_op(&Op::Read(a), &layout);
+        let write_a = Footprint::of_op(&Op::Write(a, Value::ONE), &layout);
+        let write_b = Footprint::of_op(&Op::Write(b, Value::ONE), &layout);
+
+        assert!(read_a.conflicts_with(&write_a));
+        assert!(!read_a.conflicts_with(&write_b));
+        // conflict_registers is empty iff independent, and symmetric.
+        let regs_rw = read_a.conflict_registers(&write_a);
+        assert_eq!(regs_rw.iter().collect::<Vec<_>>(), [a]);
+        assert_eq!(regs_rw, write_a.conflict_registers(&read_a));
+        assert!(read_a.conflict_registers(&write_b).is_empty());
+        // Write/write conflicts are reported too.
+        assert!(write_a.conflict_registers(&write_a.clone()).contains(a));
+    }
+
+    #[test]
+    fn intersection_handles_unequal_backing_lengths() {
+        let mut small = RegisterSet::new();
+        small.insert(RegisterId::new(3));
+        let mut large = RegisterSet::new();
+        large.insert(RegisterId::new(3));
+        large.insert(RegisterId::new(130));
+        let both = small.intersection(&large);
+        assert_eq!(both.iter().collect::<Vec<_>>(), [RegisterId::new(3)]);
+        assert_eq!(both, large.intersection(&small));
+        assert!(small.intersection(&RegisterSet::new()).is_empty());
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod sched;
 mod sym;
 mod trace;
 mod value;
+mod vclock;
 
 pub use bitop::BitOp;
 pub use clock::{Clock, ManualClock, WallClock};
@@ -103,3 +104,4 @@ pub use sym::SymmetryGroup;
 pub use sched::{FixedOrder, Lockstep, RandomSched, RoundRobin, Scheduler, Sequential, Solo};
 pub use trace::{Event, EventKind, Trace};
 pub use value::{bits_for, mask, Value, MAX_WIDTH};
+pub use vclock::VectorClock;

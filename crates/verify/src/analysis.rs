@@ -61,6 +61,13 @@ pub enum MayAccessMode {
     /// extracted once per traversal; any state the automaton cannot
     /// resolve falls back to the declared hook.
     Automaton,
+    /// Dynamic partial-order reduction: the automaton's future sets
+    /// split into read and write components (independence instead of
+    /// mere overlap against the candidate's footprint), plus sleep sets
+    /// over the conflicts actually *observed* on explored paths (safety
+    /// DFS only; see `cfc-verify::dynamic`). Falls back exactly like
+    /// [`MayAccessMode::Automaton`] on any lookup miss.
+    Dynamic,
 }
 
 /// Hard cap on automaton locations per process: a location hook that
@@ -124,6 +131,13 @@ struct Location<P> {
     footprint: Footprint,
     successors: Vec<u32>,
     future: RegisterSet,
+    /// The same fixpoint with the read/write split retained:
+    /// `future_rw.reads ∪ future_rw.writes == future`. Dynamic mode
+    /// tests *independence* against this instead of mere overlap with
+    /// the union — a candidate whose write set misses every future
+    /// write and whose reads miss every future write stays ample even
+    /// when both sides read a common register.
+    future_rw: Footprint,
     terminal: bool,
 }
 
@@ -211,6 +225,7 @@ impl<P: Process + Clone + Eq + Hash> ControlAutomaton<P> {
                     footprint: fp,
                     successors: Vec::new(),
                     future: RegisterSet::new(),
+                    future_rw: Footprint::default(),
                     terminal: false,
                 });
                 Ok(id)
@@ -220,11 +235,12 @@ impl<P: Process + Clone + Eq + Hash> ControlAutomaton<P> {
 
     /// The future-access fixpoint: `future(l) = fp(l) ∪ ⋃ future(succ)`,
     /// iterated to stability (spin self-loops contribute nothing new, so
-    /// cycles converge).
+    /// cycles converge). The read/write split is the same fixpoint run
+    /// componentwise; the union set is derived from it afterwards, so
+    /// the two views can never disagree.
     fn compute_future(&mut self) {
         for loc in &mut self.locations {
-            loc.future.union_with(&loc.footprint.reads);
-            loc.future.union_with(&loc.footprint.writes);
+            loc.future_rw = loc.footprint.clone();
         }
         let mut changed = true;
         while changed {
@@ -232,17 +248,22 @@ impl<P: Process + Clone + Eq + Hash> ControlAutomaton<P> {
             // Reverse sweep: successors mostly have larger ids, so one
             // pass usually reaches the fixpoint on acyclic regions.
             for i in (0..self.locations.len()).rev() {
-                let mut acc = self.locations[i].future.clone();
+                let mut acc = self.locations[i].future_rw.clone();
                 for s in self.locations[i].successors.clone() {
                     if s as usize != i {
-                        acc.union_with(&self.locations[s as usize].future);
+                        acc.reads.union_with(&self.locations[s as usize].future_rw.reads);
+                        acc.writes.union_with(&self.locations[s as usize].future_rw.writes);
                     }
                 }
-                if acc != self.locations[i].future {
-                    self.locations[i].future = acc;
+                if acc != self.locations[i].future_rw {
+                    self.locations[i].future_rw = acc;
                     changed = true;
                 }
             }
+        }
+        for loc in &mut self.locations {
+            loc.future.union_with(&loc.future_rw.reads);
+            loc.future.union_with(&loc.future_rw.writes);
         }
     }
 
@@ -277,6 +298,19 @@ impl<P: Process + Clone + Eq + Hash> ControlAutomaton<P> {
     /// The future-access set at a location.
     pub fn future(&self, id: u32) -> &RegisterSet {
         &self.locations[id as usize].future
+    }
+
+    /// The future-access fixpoint at a location with its read/write
+    /// split retained (`reads ∪ writes` equals [`Self::future`]).
+    pub fn future_split(&self, id: u32) -> &Footprint {
+        &self.locations[id as usize].future_rw
+    }
+
+    /// The split future-access set of a local state (the split analogue
+    /// of [`Self::future_of`]).
+    pub fn future_split_of(&self, state: &P) -> Option<&Footprint> {
+        self.location_of(state)
+            .map(|id| &self.locations[id as usize].future_rw)
     }
 
     /// The representative local state of a location.
@@ -471,8 +505,26 @@ where
 /// hook.
 #[derive(Clone, Debug)]
 pub struct FutureIndex<P> {
-    by_loc: HashMap<u64, RegisterSet>,
-    by_state: HashMap<P, RegisterSet>,
+    by_loc: HashMap<u64, FutureAccess>,
+    by_state: HashMap<P, FutureAccess>,
+}
+
+/// One index entry: the union future-access set (consulted by
+/// [`MayAccessMode::Automaton`]) and the same fixpoint with the
+/// read/write split retained (consulted by [`MayAccessMode::Dynamic`]).
+/// Invariant: `split.reads ∪ split.writes == union`.
+#[derive(Clone, Debug, Default)]
+struct FutureAccess {
+    union: RegisterSet,
+    split: Footprint,
+}
+
+impl FutureAccess {
+    fn merge(&mut self, union: &RegisterSet, split: &Footprint) {
+        self.union.union_with(union);
+        self.split.reads.union_with(&split.reads);
+        self.split.writes.union_with(&split.writes);
+    }
 }
 
 impl<P: Process + Clone + Eq + Hash> FutureIndex<P> {
@@ -492,20 +544,14 @@ impl<P: Process + Clone + Eq + Hash> FutureIndex<P> {
                 continue;
             };
             for loc in &auto.locations {
-                match loc.representative.location() {
-                    Some(l) => match idx.by_loc.entry(l) {
-                        Entry::Occupied(mut e) => e.get_mut().union_with(&loc.future),
-                        Entry::Vacant(e) => {
-                            e.insert(loc.future.clone());
-                        }
-                    },
-                    None => match idx.by_state.entry(loc.representative.clone()) {
-                        Entry::Occupied(mut e) => e.get_mut().union_with(&loc.future),
-                        Entry::Vacant(e) => {
-                            e.insert(loc.future.clone());
-                        }
-                    },
-                }
+                let entry = match loc.representative.location() {
+                    Some(l) => idx.by_loc.entry(l).or_insert_with(FutureAccess::default),
+                    None => idx
+                        .by_state
+                        .entry(loc.representative.clone())
+                        .or_insert_with(FutureAccess::default),
+                };
+                entry.merge(&loc.future, &loc.future_rw);
             }
         }
         idx
@@ -526,6 +572,16 @@ impl<P: Process + Clone + Eq + Hash> FutureIndex<P> {
     /// is not resolved by any extracted automaton (the caller must fall
     /// back to the declared hook).
     pub fn future_of(&self, state: &P) -> Option<&RegisterSet> {
+        self.entry_of(state).map(|e| &e.union)
+    }
+
+    /// The split future-access set of a local state (same resolution and
+    /// fallback contract as [`Self::future_of`]).
+    pub fn future_split_of(&self, state: &P) -> Option<&Footprint> {
+        self.entry_of(state).map(|e| &e.split)
+    }
+
+    fn entry_of(&self, state: &P) -> Option<&FutureAccess> {
         match state.location() {
             Some(l) => self.by_loc.get(&l),
             None => self.by_state.get(state),
@@ -647,6 +703,29 @@ mod tests {
         assert!(idx.future_of(&p).unwrap().contains(p.out));
         let foreign = Brancher { pc: 9, ..p };
         assert!(idx.future_of(&foreign).is_none());
+        assert!(idx.future_split_of(&foreign).is_none());
+    }
+
+    #[test]
+    fn split_future_separates_reads_from_writes() {
+        let (layout, p) = setup();
+        let auto = ControlAutomaton::extract(&layout, &p).unwrap();
+        // At the read location, the future reads are {flag} and the
+        // future writes are {out}; the union view collapses them.
+        let split = auto.future_split_of(&p).unwrap();
+        assert!(split.reads.contains(p.flag) && !split.reads.contains(p.out));
+        assert!(split.writes.contains(p.out) && !split.writes.contains(p.flag));
+        let mut union = split.reads.clone();
+        union.union_with(&split.writes);
+        assert_eq!(&union, auto.future_of(&p).unwrap());
+        // At the write location only the write remains.
+        let write_state = Brancher { pc: 1, ..p.clone() };
+        let at_write = auto.future_split_of(&write_state).unwrap();
+        assert!(at_write.reads.is_empty() && at_write.writes.contains(p.out));
+        // The index agrees with the automaton on both views.
+        let idx = FutureIndex::build(&layout, std::slice::from_ref(&p));
+        assert_eq!(idx.future_split_of(&p).unwrap(), split);
+        assert_eq!(idx.future_of(&p).unwrap(), auto.future_of(&p).unwrap());
     }
 
     #[test]

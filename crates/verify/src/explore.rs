@@ -148,6 +148,16 @@ pub struct ExploreConfig {
     /// future-access sets, falling back to the declared hook for any
     /// state the automaton cannot resolve. Ignored when `por` is off.
     pub may_access: MayAccessMode,
+    /// **Planted-mutant knob — leave `None` in production configs.**
+    /// When set, dynamic reduction treats conflicts that go through the
+    /// named register as if they never happened: the sleep machinery
+    /// keeps processes asleep across such races, and
+    /// [`crate::trace_causality`] drops them from the happens-before
+    /// relation. This is the conflict-under-reporting bug class the
+    /// dynamic-vs-static differential wall exists to catch
+    /// (`tests/checker_mutations.rs`); the static modes never consult
+    /// it, which is exactly why the differential kills it.
+    pub drop_races_on: Option<cfc_core::RegisterId>,
     /// Print a live stderr heartbeat while this exploration runs (the
     /// `CFC_PROGRESS` environment variable turns this on globally; see
     /// [`crate::telemetry`]). Purely observational: no count, verdict,
@@ -166,6 +176,7 @@ impl Default for ExploreConfig {
             index: IndexMode::Open,
             spill_budget_bytes: None,
             may_access: MayAccessMode::Declared,
+            drop_races_on: None,
             progress: false,
         }
     }
@@ -224,6 +235,15 @@ impl ExploreConfig {
         self
     }
 
+    /// Plants the conflict-under-reporting mutant: dynamic reduction
+    /// drops observed races through the named register (test harnesses
+    /// only; see [`ExploreConfig::drop_races_on`]).
+    #[must_use]
+    pub fn with_drop_races_on(mut self, register: cfc_core::RegisterId) -> Self {
+        self.drop_races_on = Some(register);
+        self
+    }
+
     /// Enables (or disables) the live stderr heartbeat.
     #[must_use]
     pub fn with_progress(mut self, progress: bool) -> Self {
@@ -253,6 +273,12 @@ pub struct ExploreStats {
     /// baseline too). Counted by **exact** comparison against the stored
     /// first visitor, so a hash collision can never miscount a merge.
     pub orbits_merged: u64,
+    /// Enabled transitions skipped by dynamic sleep sets: their targets
+    /// are reachable, up to commuting independent steps, through a
+    /// sibling branch that was explored first. Nonzero only under
+    /// [`MayAccessMode::Dynamic`] in the crash-free, symmetry-off
+    /// safety DFS (see `crate::dynamic` for the gating).
+    pub transitions_slept: u64,
     /// Store, index, and edge memory at the end of the search: exact
     /// bytes under [`StoreMode::Packed`] / [`IndexMode::Open`],
     /// comparable estimates for the boxed/chained oracles.
@@ -478,6 +504,7 @@ where
         terminals: t.terminals,
         states_pruned_por: t.states_pruned_por,
         orbits_merged: t.orbits_merged,
+        transitions_slept: t.transitions_slept,
         footprint: t.footprint,
         wall_ns: t.wall_ns,
     })
@@ -667,6 +694,7 @@ where
         depth: 0,
         states_pruned_por: stats.states_pruned_por,
         orbits_merged: stats.orbits_merged,
+        transitions_slept: 0,
         footprint: stats.footprint,
     });
     Ok(stats)

@@ -43,6 +43,7 @@ use cfc_core::{
 use crate::analysis::{FutureIndex, MayAccessMode};
 pub(crate) use crate::csr::GEdge;
 use crate::csr::{EdgeArena, ReversedCsr};
+use crate::dynamic::{observed_conflict, sleep_sets_active, SleepTable};
 use crate::explore::{ExploreConfig, ExploreError, ScheduleStep, StateView, Violation};
 use crate::store::{IndexMode, NodeStore, StoreMode, VisitOutcome};
 use crate::telemetry::{self, Phase, Sample, StoreFootprint};
@@ -281,10 +282,12 @@ impl<P: Process + Clone + Eq + Hash> Engine<P> {
     }
 
     /// Whether the configuration asks for automaton-derived future sets
-    /// (meaningful only with partial-order reduction on — the engine's
-    /// `por` flag already accounts for the normalizer override).
-    pub(crate) fn wants_automaton(&self) -> bool {
-        self.config.por && self.config.may_access == MayAccessMode::Automaton
+    /// — both the static [`MayAccessMode::Automaton`] and the dynamic
+    /// mode build on the same per-location index (meaningful only with
+    /// partial-order reduction on — the engine's `por` flag already
+    /// accounts for the normalizer override).
+    pub(crate) fn wants_future_index(&self) -> bool {
+        self.config.por && self.config.may_access != MayAccessMode::Declared
     }
 
     /// Installs the future-access index ample selection consults under
@@ -437,6 +440,7 @@ impl<P: Process + Clone + Eq + Hash> Engine<P> {
                 None => node.procs[j].may_access(set),
             };
         }
+        let dynamic = self.config.may_access == MayAccessMode::Dynamic;
         let layout = self.template.layout();
         'candidates: for &i in runnable {
             let step = node.procs[i].current();
@@ -446,6 +450,24 @@ impl<P: Process + Clone + Eq + Hash> Engine<P> {
                 for &j in runnable {
                     if j == i {
                         continue;
+                    }
+                    // Dynamic mode sharpens C1 where the automaton keeps
+                    // the read/write split of the future fixpoint: the
+                    // candidate's step must be *independent* of every
+                    // future access of `j` — a merely shared future
+                    // *read* no longer disqualifies. Sound because
+                    // independence against the union of a process's
+                    // future footprints implies pairwise independence
+                    // with each future step.
+                    if dynamic {
+                        if let Some(split) =
+                            future.and_then(|f| f.future_split_of(&node.procs[j]))
+                        {
+                            if fp.independent(split) {
+                                continue;
+                            }
+                            continue 'candidates;
+                        }
                     }
                     match &self.scratch.may[j] {
                         (true, set) if !fp.touches(set) => {}
@@ -635,6 +657,9 @@ pub(crate) struct TraversalStats {
     pub(crate) terminals: usize,
     pub(crate) states_pruned_por: u64,
     pub(crate) orbits_merged: u64,
+    /// Transitions skipped by dynamic sleep sets (safety DFS under
+    /// [`MayAccessMode::Dynamic`] only; zero everywhere else).
+    pub(crate) transitions_slept: u64,
     /// Store/index/edge bytes and spill counts (exact in packed mode,
     /// comparable estimates for the boxed/chained structures;
     /// `edge_bytes` is zero for the DFS and for BFS without edge
@@ -669,6 +694,38 @@ impl Drop for PathLink {
             }
         }
     }
+}
+
+/// Filters a sleep mask after a step with footprint `taken` fires at
+/// `node`: every sleeping process whose next step races with the taken
+/// step wakes up (its deferred step no longer commutes past the trace).
+/// Bits of processes that are not runnable are dropped defensively —
+/// they cannot arise, since a process's status only changes on its own
+/// steps and crash budgets disable sleeping.
+fn wake_conflicting<P: Process + Clone>(
+    mask: u32,
+    node: &Node<P>,
+    layout: &cfc_core::Layout,
+    taken: &Footprint,
+    drop_races: Option<cfc_core::RegisterId>,
+) -> u32 {
+    let mut out = 0u32;
+    let mut rest = mask;
+    while rest != 0 {
+        let p = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        if p < node.procs.len()
+            && node.status[p].runnable()
+            && !observed_conflict(
+                &Footprint::of_step(&node.procs[p].current(), layout),
+                taken,
+                drop_races,
+            )
+        {
+            out |= 1 << p;
+        }
+    }
+    out
 }
 
 /// Materializes the schedule a path link encodes, root-first.
@@ -785,7 +842,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         let mut span = tel.span(self.spec.phase);
         let engine = &mut self.engine;
 
-        if engine.wants_automaton() {
+        if engine.wants_future_index() {
             let auto_span = tel.span(Phase::ExtractAutomaton);
             let index = FutureIndex::build(engine.template().layout(), &procs);
             auto_span.finish(Sample {
@@ -794,6 +851,20 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             });
             engine.set_future_index(index);
         }
+        // Sleep-set pruning rides only on the safety DFS under dynamic
+        // mode, concretely (no symmetry), crash-free, and within mask
+        // width — see `crate::dynamic` for why each boundary is
+        // load-bearing.
+        let sleep_on = sleep_sets_active(
+            engine.config.por,
+            engine.config.may_access == MayAccessMode::Dynamic,
+            mode == AmpleMode::Safety,
+            engine.use_sym(),
+            self.spec.crash_budget,
+            n,
+        );
+        let drop_races = engine.config.drop_races_on;
+        let mut sleep = SleepTable::new();
         let mut root = engine.root(procs);
         Self::normalize(normalizer, &mut root);
 
@@ -812,67 +883,103 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             engine.use_sym(),
         );
         let mut stats = TraversalStats::default();
-        // DFS stack: (node, schedule-so-far). Schedules share structure
-        // through parent links — one O(1) link per pushed successor —
-        // and are materialized only to report a violation.
-        let mut stack: Vec<(Node<P>, Option<Rc<PathLink>>)> = vec![(root, None)];
+        // DFS stack: (node, schedule-so-far, sleep mask). Schedules share
+        // structure through parent links — one O(1) link per pushed
+        // successor — and are materialized only to report a violation.
+        // The mask (bit per pid; always 0 when sleeping is off) names the
+        // processes whose next step out of this node is covered by an
+        // already-pushed sibling branch.
+        let mut stack: Vec<(Node<P>, Option<Rc<PathLink>>, u32)> = vec![(root, None, 0)];
 
-        while let Some((node, path)) = stack.pop() {
-            let outcome = if engine.use_sym() {
+        while let Some((node, path, mut mask)) = stack.pop() {
+            let (id, outcome) = if engine.use_sym() {
                 let canon = engine.canonical_of(&node);
                 visited.visit(&canon, Some(&node))
             } else {
                 visited.visit(&node, None)
             };
-            match outcome {
-                VisitOutcome::Fresh => {}
-                VisitOutcome::RevisitSame => continue,
-                VisitOutcome::RevisitMerged => {
-                    stats.orbits_merged += 1;
-                    continue;
+            // A revisit normally ends the branch. With sleeping on, a
+            // revisit that sleeps *fewer* processes than every earlier
+            // visit covered must re-expand the state (without re-counting
+            // or re-checking it) — the stored mask shrinks strictly each
+            // time, so this terminates.
+            let fresh = match outcome {
+                VisitOutcome::Fresh => {
+                    if sleep_on {
+                        sleep.record_fresh(id, mask);
+                    }
+                    true
                 }
-            }
-            stats.states += 1;
-            if stats.states > self.max_states {
-                return Err(ExploreError::StateBudget(stats.states));
-            }
-            span.tick(|| Sample {
-                states: stats.states as u64,
-                transitions: stats.transitions,
-                frontier: stack.len() as u64,
-                depth: path.as_ref().map_or(0, |l| l.depth as u64),
-                states_pruned_por: stats.states_pruned_por,
-                orbits_merged: stats.orbits_merged,
-                footprint: StoreFootprint {
-                    arena_bytes: visited.arena_bytes(),
-                    index_bytes: visited.index_bytes(),
-                    edge_bytes: 0,
-                    spilled_buckets: visited.spilled_buckets(),
-                },
-            });
-
-            let mem = engine.memory_of(&node);
-            let view = StateView {
-                procs: &node.procs,
-                status: &node.status,
-                memory: &mem,
+                VisitOutcome::RevisitSame | VisitOutcome::RevisitMerged => {
+                    if outcome == VisitOutcome::RevisitMerged {
+                        stats.orbits_merged += 1;
+                    }
+                    if !sleep_on {
+                        continue;
+                    }
+                    match sleep.revisit(id, mask) {
+                        None => continue,
+                        Some(narrowed) => {
+                            mask = narrowed;
+                            false
+                        }
+                    }
+                }
             };
-            if let Err(message) = state_check(&view) {
-                return Err(ExploreError::Violation(Box::new(Violation {
-                    schedule: materialize_path(&path),
-                    message,
-                })));
+            if fresh {
+                stats.states += 1;
+                if stats.states > self.max_states {
+                    return Err(ExploreError::StateBudget(stats.states));
+                }
+                span.tick(|| Sample {
+                    states: stats.states as u64,
+                    transitions: stats.transitions,
+                    frontier: stack.len() as u64,
+                    depth: path.as_ref().map_or(0, |l| l.depth as u64),
+                    states_pruned_por: stats.states_pruned_por,
+                    orbits_merged: stats.orbits_merged,
+                    transitions_slept: stats.transitions_slept,
+                    footprint: StoreFootprint {
+                        arena_bytes: visited.arena_bytes(),
+                        index_bytes: visited.index_bytes() + sleep.heap_bytes() as u64,
+                        edge_bytes: 0,
+                        spilled_buckets: visited.spilled_buckets(),
+                    },
+                });
+
+                let mem = engine.memory_of(&node);
+                let view = StateView {
+                    procs: &node.procs,
+                    status: &node.status,
+                    memory: &mem,
+                };
+                if let Err(message) = state_check(&view) {
+                    return Err(ExploreError::Violation(Box::new(Violation {
+                        schedule: materialize_path(&path),
+                        message,
+                    })));
+                }
             }
 
             let runnable: Vec<usize> =
                 (0..n).filter(|&i| node.status[i].runnable()).collect();
             if runnable.is_empty() {
-                stats.terminals += 1;
-                if let Err(message) = terminal_check(&view) {
-                    return Err(ExploreError::Violation(Box::new(Violation {
-                        schedule: materialize_path(&path),
-                        message,
-                    })));
+                // Terminals have no transitions to re-cover; count and
+                // check them on the first visit only.
+                if fresh {
+                    stats.terminals += 1;
+                    let mem = engine.memory_of(&node);
+                    let view = StateView {
+                        procs: &node.procs,
+                        status: &node.status,
+                        memory: &mem,
+                    };
+                    if let Err(message) = terminal_check(&view) {
+                        return Err(ExploreError::Violation(Box::new(Violation {
+                            schedule: materialize_path(&path),
+                            message,
+                        })));
+                    }
                 }
                 continue;
             }
@@ -881,32 +988,91 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             match engine.expand(&node, &runnable, mode, |key| visited.contains(key))? {
                 Expansion::Ample { pid, mut succ, .. } => {
                     stats.states_pruned_por += runnable.len() as u64 - 1;
+                    if sleep_on && mask & (1 << pid.index()) != 0 {
+                        // The single ample transition is asleep: a
+                        // sibling branch of some ancestor already covers
+                        // it, so this branch ends here.
+                        stats.transitions_slept += 1;
+                        continue;
+                    }
                     stats.transitions += 1;
+                    let child_mask = if sleep_on {
+                        let layout = engine.template().layout();
+                        let fp = Footprint::of_step(&node.procs[pid.index()].current(), layout);
+                        wake_conflicting(mask, &node, layout, &fp, drop_races)
+                    } else {
+                        0
+                    };
                     Self::normalize(normalizer, &mut succ);
                     let link = Rc::new(PathLink {
                         step: ScheduleStep::Step(pid),
                         depth,
                         parent: path,
                     });
-                    stack.push((succ, Some(link)));
+                    stack.push((succ, Some(link), child_mask));
                 }
                 Expansion::Full(succs) => {
-                    for (step, mut succ) in succs {
-                        stats.transitions += 1;
-                        Self::normalize(normalizer, &mut succ);
-                        let link = Rc::new(PathLink {
-                            step,
-                            depth,
-                            parent: path.clone(),
-                        });
-                        stack.push((succ, Some(link)));
+                    if sleep_on {
+                        // Crash budget is zero under sleeping, so the
+                        // successor list is exactly one step per runnable
+                        // process, in `runnable` order.
+                        debug_assert_eq!(succs.len(), runnable.len());
+                        let layout = engine.template().layout();
+                        let fps: Vec<Footprint> = runnable
+                            .iter()
+                            .map(|&i| Footprint::of_step(&node.procs[i].current(), layout))
+                            .collect();
+                        for (k, (step, mut succ)) in succs.into_iter().enumerate() {
+                            let pid_bit = 1u32 << runnable[k];
+                            if mask & pid_bit != 0 {
+                                stats.transitions_slept += 1;
+                                continue;
+                            }
+                            stats.transitions += 1;
+                            // Inherited sleepers stay asleep unless the
+                            // taken step races with their next step...
+                            let mut child_mask =
+                                wake_conflicting(mask, &node, layout, &fps[k], drop_races);
+                            // ...and every awake sibling explored before
+                            // this branch (pushed later — the stack pops
+                            // in reverse) whose step is independent of
+                            // the taken one goes to sleep: its successor
+                            // here is reachable, via commutation, from
+                            // the sibling's subtree.
+                            for (k2, &j) in runnable.iter().enumerate().skip(k + 1) {
+                                let bit = 1u32 << j;
+                                if mask & bit == 0
+                                    && !observed_conflict(&fps[k2], &fps[k], drop_races)
+                                {
+                                    child_mask |= bit;
+                                }
+                            }
+                            Self::normalize(normalizer, &mut succ);
+                            let link = Rc::new(PathLink {
+                                step,
+                                depth,
+                                parent: path.clone(),
+                            });
+                            stack.push((succ, Some(link), child_mask));
+                        }
+                    } else {
+                        for (step, mut succ) in succs {
+                            stats.transitions += 1;
+                            Self::normalize(normalizer, &mut succ);
+                            let link = Rc::new(PathLink {
+                                step,
+                                depth,
+                                parent: path.clone(),
+                            });
+                            stack.push((succ, Some(link), 0));
+                        }
                     }
                 }
             }
         }
         stats.footprint = StoreFootprint {
             arena_bytes: visited.arena_bytes(),
-            index_bytes: visited.index_bytes(),
+            index_bytes: visited.index_bytes() + sleep.heap_bytes() as u64,
             edge_bytes: 0,
             spilled_buckets: visited.spilled_buckets(),
         };
@@ -917,6 +1083,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             depth: 0,
             states_pruned_por: stats.states_pruned_por,
             orbits_merged: stats.orbits_merged,
+            transitions_slept: stats.transitions_slept,
             footprint: stats.footprint,
         });
         Ok(stats)
@@ -948,7 +1115,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
         let engine = &mut self.engine;
         let mut stats = TraversalStats::default();
 
-        if engine.wants_automaton() {
+        if engine.wants_future_index() {
             let auto_span = tel.span(Phase::ExtractAutomaton);
             let index = FutureIndex::build(engine.template().layout(), &procs);
             auto_span.finish(Sample {
@@ -993,6 +1160,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
                 depth: 0,
                 states_pruned_por: stats.states_pruned_por,
                 orbits_merged: stats.orbits_merged,
+                transitions_slept: 0,
                 footprint: StoreFootprint {
                     arena_bytes: g.store.arena_bytes(),
                     index_bytes: g.store.index_bytes(),
@@ -1093,6 +1261,7 @@ impl<'a, P: Process + Clone + Eq + Hash> GraphBuilder<'a, P> {
             depth: 0,
             states_pruned_por: stats.states_pruned_por,
             orbits_merged: stats.orbits_merged,
+            transitions_slept: 0,
             footprint: stats.footprint,
         });
         Ok((g, stats))

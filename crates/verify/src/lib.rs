@@ -22,6 +22,11 @@
 //!   the hand-written reduction hooks ([`lint_model`]) and
 //!   location-sensitive future-access sets that sharpen ample-set
 //!   selection ([`MayAccessMode::Automaton`]).
+//! * [`dynamic`] — dynamic partial-order reduction on top of the
+//!   automaton substrate ([`MayAccessMode::Dynamic`]): read/write-split
+//!   future sets, sleep sets over conflicts *observed* on explored
+//!   paths, and vector-clock trace causality ([`trace_causality`]) so
+//!   the test wall can audit the happens-before relation directly.
 //! * [`merge`] — Lemma 2's merge construction: extract solo-run profiles,
 //!   test the lemma's condition, and build the forbidden two-winner run
 //!   when an algorithm violates it.
@@ -54,6 +59,7 @@ pub mod adversary;
 pub mod analysis;
 pub mod checks;
 pub mod csr;
+pub mod dynamic;
 pub mod explore;
 mod graph;
 pub mod index;
@@ -67,6 +73,10 @@ pub use adversary::{naming_profile, NamingProfile};
 pub use analysis::{
     lint_model, ControlAutomaton, ExtractError, Finding, FindingKind, FutureIndex, LintReport,
     MayAccessMode,
+};
+pub use dynamic::{
+    observed_conflict, trace_causality, CausalEvent, ConflictEdge, TraceCausality,
+    MAX_SLEEP_PROCS,
 };
 pub use checks::{
     check_detection_progress, check_detection_safety, check_mutex_progress, check_mutex_safety,

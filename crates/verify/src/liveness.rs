@@ -302,6 +302,7 @@ impl LivenessStats {
             depth: 0,
             states_pruned_por: self.states_pruned_por,
             orbits_merged: self.orbits_merged,
+            transitions_slept: 0,
             footprint: self.footprint,
         }
     }

@@ -822,21 +822,25 @@ impl<P: Process + Clone + Eq + Hash> NodeStore<P> {
 
     /// Records a visit of the canonical key `canon` reached by the
     /// concrete state `concrete` (pass `None` when canonical and concrete
-    /// coincide, i.e. without symmetry reduction).
+    /// coincide, i.e. without symmetry reduction). Returns the interned
+    /// id of the canonical state (dense, assigned in first-visit order —
+    /// the key dynamic reduction's per-state sleep masks are stored
+    /// under) alongside the visit classification.
     pub(crate) fn visit(
         &mut self,
         canon: &Node<P>,
         concrete: Option<&Node<P>>,
-    ) -> VisitOutcome {
+    ) -> (u32, VisitOutcome) {
         let (id, fresh) = self.intern(canon.clone());
         let Some(firsts) = &mut self.firsts else {
-            return if fresh {
+            let outcome = if fresh {
                 VisitOutcome::Fresh
             } else {
                 VisitOutcome::RevisitSame
             };
+            return (id, outcome);
         };
-        match firsts {
+        let outcome = match firsts {
             Firsts::Boxed(list) => {
                 if fresh {
                     list.push(concrete.filter(|c| **c != *canon).cloned());
@@ -912,7 +916,8 @@ impl<P: Process + Clone + Eq + Hash> NodeStore<P> {
                     }
                 }
             }
-        }
+        };
+        (id, outcome)
     }
 
     /// Decodes stored state `id` (a transient owned copy).
@@ -1135,10 +1140,10 @@ mod tests {
             index.digest = |_| 0xdead_beef;
             let x = node([1, 2], 3, 4, 1);
             let y = node([9, 9], 5, 5, 0);
-            assert_eq!(s.visit(&x, None), VisitOutcome::Fresh, "{imode:?}");
-            assert_eq!(s.visit(&y, None), VisitOutcome::Fresh, "{imode:?}");
-            assert_eq!(s.visit(&x, None), VisitOutcome::RevisitSame, "{imode:?}");
-            assert_eq!(s.visit(&y, None), VisitOutcome::RevisitSame, "{imode:?}");
+            assert_eq!(s.visit(&x, None), (0, VisitOutcome::Fresh), "{imode:?}");
+            assert_eq!(s.visit(&y, None), (1, VisitOutcome::Fresh), "{imode:?}");
+            assert_eq!(s.visit(&x, None), (0, VisitOutcome::RevisitSame), "{imode:?}");
+            assert_eq!(s.visit(&y, None), (1, VisitOutcome::RevisitSame), "{imode:?}");
             assert_eq!(s.len(), 2);
         }
     }
@@ -1169,28 +1174,31 @@ mod tests {
             let canon = node([1, 2], 0, 0, 0);
             let permuted = node([2, 1], 0, 0, 0);
             // First visit by a non-canonical concrete state.
-            assert_eq!(s.visit(&canon, Some(&permuted)), VisitOutcome::Fresh);
+            assert_eq!(s.visit(&canon, Some(&permuted)), (0, VisitOutcome::Fresh));
             // Same concrete again: not a merge.
             assert_eq!(
                 s.visit(&canon, Some(&permuted)),
-                VisitOutcome::RevisitSame,
+                (0, VisitOutcome::RevisitSame),
                 "{mode:?}"
             );
             // A different concrete sibling: a genuine merge.
             assert_eq!(
                 s.visit(&canon, Some(&canon.clone())),
-                VisitOutcome::RevisitMerged,
+                (0, VisitOutcome::RevisitMerged),
                 "{mode:?}"
             );
 
             // And a canonical-first orbit: the sentinel path.
             let c2 = node([3, 4], 1, 1, 0);
             let p2 = node([4, 3], 1, 1, 0);
-            assert_eq!(s.visit(&c2, Some(&c2.clone())), VisitOutcome::Fresh);
-            assert_eq!(s.visit(&c2, Some(&c2.clone())), VisitOutcome::RevisitSame);
+            assert_eq!(s.visit(&c2, Some(&c2.clone())), (1, VisitOutcome::Fresh));
+            assert_eq!(
+                s.visit(&c2, Some(&c2.clone())),
+                (1, VisitOutcome::RevisitSame)
+            );
             assert_eq!(
                 s.visit(&c2, Some(&p2)),
-                VisitOutcome::RevisitMerged,
+                (1, VisitOutcome::RevisitMerged),
                 "{mode:?}"
             );
         }
@@ -1200,7 +1208,7 @@ mod tests {
     fn visit_without_tracking_reports_fresh_and_same_only() {
         let mut s = store(StoreMode::Packed, None, false);
         let x = node([1, 1], 0, 0, 0);
-        assert_eq!(s.visit(&x, None), VisitOutcome::Fresh);
-        assert_eq!(s.visit(&x, None), VisitOutcome::RevisitSame);
+        assert_eq!(s.visit(&x, None), (0, VisitOutcome::Fresh));
+        assert_eq!(s.visit(&x, None), (0, VisitOutcome::RevisitSame));
     }
 }

@@ -180,6 +180,9 @@ pub struct Snapshot {
     pub states_pruned_por: u64,
     /// States merged into a symmetry orbit representative.
     pub orbits_merged: u64,
+    /// Transitions skipped by dynamic sleep sets (nonzero only in the
+    /// safety DFS under `MayAccessMode::Dynamic`).
+    pub transitions_slept: u64,
     /// Store/index/edge footprint at the sample point.
     pub footprint: StoreFootprint,
     /// Nanoseconds since the enclosing span started.
@@ -276,8 +279,8 @@ impl TelemetryEvent {
                 "{{\"event\":\"snapshot\",\"phase\":\"{phase}\",\"at_ns\":{at_ns},\
                  \"elapsed_ns\":{},\"states\":{},\"transitions\":{},\"frontier\":{},\
                  \"depth\":{},\"states_pruned_por\":{},\"orbits_merged\":{},\
-                 \"states_per_sec\":{},\"arena_bytes\":{},\"index_bytes\":{},\
-                 \"edge_bytes\":{},\"spilled_buckets\":{}}}",
+                 \"transitions_slept\":{},\"states_per_sec\":{},\"arena_bytes\":{},\
+                 \"index_bytes\":{},\"edge_bytes\":{},\"spilled_buckets\":{}}}",
                 snap.elapsed_ns,
                 snap.states,
                 snap.transitions,
@@ -285,6 +288,7 @@ impl TelemetryEvent {
                 snap.depth,
                 snap.states_pruned_por,
                 snap.orbits_merged,
+                snap.transitions_slept,
                 snap.states_per_sec,
                 snap.footprint.arena_bytes,
                 snap.footprint.index_bytes,
@@ -335,6 +339,9 @@ impl TelemetryEvent {
                     depth: json_u64(line, "depth")?,
                     states_pruned_por: json_u64(line, "states_pruned_por")?,
                     orbits_merged: json_u64(line, "orbits_merged")?,
+                    // Absent in pre-dynamic streams: default to 0 so old
+                    // JSONL artifacts still parse.
+                    transitions_slept: json_u64(line, "transitions_slept").unwrap_or(0),
                     footprint: StoreFootprint {
                         arena_bytes: json_u64(line, "arena_bytes")?,
                         index_bytes: json_u64(line, "index_bytes")?,
@@ -794,6 +801,8 @@ pub struct Sample {
     pub states_pruned_por: u64,
     /// Symmetry-merged state count so far.
     pub orbits_merged: u64,
+    /// Transitions skipped by dynamic sleep sets so far.
+    pub transitions_slept: u64,
     /// Current store footprint.
     pub footprint: StoreFootprint,
 }
@@ -911,6 +920,7 @@ impl PhaseSpan {
                 depth: s.depth,
                 states_pruned_por: s.states_pruned_por,
                 orbits_merged: s.orbits_merged,
+                transitions_slept: s.transitions_slept,
                 footprint: s.footprint,
                 elapsed_ns: elapsed,
                 states_per_sec: rate_per_sec(s.states, elapsed),
@@ -989,6 +999,7 @@ mod tests {
                     depth: 0,
                     states_pruned_por: 2,
                     orbits_merged: 1,
+                    transitions_slept: 3,
                     footprint: StoreFootprint {
                         arena_bytes: 80,
                         index_bytes: 64,

@@ -8,6 +8,10 @@
 
 #![allow(dead_code)]
 
+use std::collections::BTreeMap;
+
+use cfc::core::{BitOp, Layout, Op, OpResult, Process, RegisterId, RegisterSet, Step, Value};
+use cfc::naming::{Model, NamingAlgorithm, TasScan, TasScanProc};
 use cfc::verify::explore::ExploreConfig;
 
 /// An explicit, crash-free **baseline** budget: no reductions, the
@@ -71,4 +75,105 @@ pub fn reduced_variants(max_states: usize) -> [(&'static str, ExploreConfig); 3]
         ("sym", sym_only(max_states)),
         ("both", reduced(max_states)),
     ]
+}
+
+/// The multiset of decided outputs in a replayed final state — the
+/// violation fingerprint the differential suites compare across
+/// explorer configurations.
+pub fn output_multiset<P: Process>(procs: &[P]) -> BTreeMap<u64, usize> {
+    let mut m = BTreeMap::new();
+    for p in procs {
+        if let Some(v) = p.output() {
+            *m.entry(v.raw()).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+// ---------------------------------------------------------------------
+// A seeded violating fixture, shared by the reduction and dynamic
+// differential walls.
+// ---------------------------------------------------------------------
+
+/// [`TasScan`] with the `test-and-set` at one seed-chosen bit replaced by
+/// a plain read. A read returns the same old value the `test-and-set`
+/// would, but does not claim the bit — so two processes can both observe
+/// `0` there and decide the same name: a planted uniqueness violation
+/// every explorer must find.
+#[derive(Clone, Debug)]
+pub struct MutatedTasScan {
+    inner: TasScan,
+    broken: RegisterId,
+}
+
+impl MutatedTasScan {
+    pub fn new(n: usize, seed: u64) -> Self {
+        let inner = TasScan::new(n);
+        let broken = RegisterId::new((seed % (n as u64 - 1)) as u32);
+        MutatedTasScan { inner, broken }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MutatedProc {
+    inner: TasScanProc,
+    broken: RegisterId,
+}
+
+impl Process for MutatedProc {
+    fn current(&self) -> Step {
+        match self.inner.current() {
+            Step::Op(Op::Bit(r, BitOp::TestAndSet)) if r == self.broken => {
+                Step::Op(Op::Bit(r, BitOp::Read))
+            }
+            step => step,
+        }
+    }
+
+    fn advance(&mut self, result: OpResult) {
+        self.inner.advance(result);
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.inner.output()
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint()
+    }
+
+    fn may_access(&self, out: &mut RegisterSet) -> bool {
+        self.inner.may_access(out)
+    }
+}
+
+impl NamingAlgorithm for MutatedTasScan {
+    type Proc = MutatedProc;
+
+    fn name(&self) -> &str {
+        "mutated-tas-scan"
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn model(&self) -> Model {
+        self.inner.model()
+    }
+
+    fn layout(&self) -> Layout {
+        self.inner.layout()
+    }
+
+    fn process(&self) -> MutatedProc {
+        MutatedProc {
+            inner: self.inner.process(),
+            broken: self.broken,
+        }
+    }
+
+    fn step_budget(&self) -> u64 {
+        self.inner.step_budget()
+    }
 }

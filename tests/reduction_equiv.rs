@@ -15,21 +15,17 @@
 
 mod common;
 
-use std::collections::BTreeMap;
-
-use cfc::core::{
-    BitOp, Layout, Op, OpResult, Process, ProcessId, RegisterId, Section, Step, Value,
-};
+use cfc::core::{Process, ProcessId, Section};
 use cfc::mutex::{
     Bakery, BrokenDetector, Dijkstra, ExitOrder, LamportFast, MutexAlgorithm, PetersonTwo,
     Tournament,
 };
-use cfc::naming::{Model, NamingAlgorithm, TafTree, TasReadSearch, TasScan, TasScanProc, TasTarTree};
+use cfc::naming::{NamingAlgorithm, TafTree, TasReadSearch, TasScan, TasTarTree};
 use cfc::verify::{
     check_detection_safety, check_mutex_safety, check_naming_uniqueness, replay, ExploreError,
     ExploreStats, ScheduleStep,
 };
-use common::{budget, reduced, reduced_variants as variants};
+use common::{budget, output_multiset, reduced, reduced_variants as variants, MutatedTasScan};
 
 /// A verdict a run can end with; budget/memory failures always panic.
 fn verdict(r: &Result<ExploreStats, ExploreError>, what: &str) -> bool {
@@ -45,17 +41,6 @@ fn schedule_of(r: Result<ExploreStats, ExploreError>) -> Vec<ScheduleStep> {
         Err(ExploreError::Violation(v)) => v.schedule,
         other => panic!("expected a violation, got {other:?}"),
     }
-}
-
-/// The multiset of decided outputs in a replayed final state.
-fn output_multiset<P: Process>(procs: &[P]) -> BTreeMap<u64, usize> {
-    let mut m = BTreeMap::new();
-    for p in procs {
-        if let Some(v) = p.output() {
-            *m.entry(v.raw()).or_insert(0) += 1;
-        }
-    }
-    m
 }
 
 // ---------------------------------------------------------------------
@@ -168,91 +153,9 @@ fn broken_detector_caught_by_all_variants() {
 }
 
 // ---------------------------------------------------------------------
-// Seeded mutation: a lost-update bug planted into the TAS scan.
+// Seeded mutation: a lost-update bug planted into the TAS scan (the
+// shared `common::MutatedTasScan` fixture).
 // ---------------------------------------------------------------------
-
-/// [`TasScan`] with the `test-and-set` at one seed-chosen bit replaced by
-/// a plain read. A read returns the same old value the `test-and-set`
-/// would, but does not claim the bit — so two processes can both observe
-/// `0` there and decide the same name: a planted uniqueness violation
-/// every explorer must find.
-#[derive(Clone, Debug)]
-struct MutatedTasScan {
-    inner: TasScan,
-    broken: RegisterId,
-}
-
-impl MutatedTasScan {
-    fn new(n: usize, seed: u64) -> Self {
-        let inner = TasScan::new(n);
-        let broken = RegisterId::new((seed % (n as u64 - 1)) as u32);
-        MutatedTasScan { inner, broken }
-    }
-}
-
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct MutatedProc {
-    inner: TasScanProc,
-    broken: RegisterId,
-}
-
-impl Process for MutatedProc {
-    fn current(&self) -> Step {
-        match self.inner.current() {
-            Step::Op(Op::Bit(r, BitOp::TestAndSet)) if r == self.broken => {
-                Step::Op(Op::Bit(r, BitOp::Read))
-            }
-            step => step,
-        }
-    }
-
-    fn advance(&mut self, result: OpResult) {
-        self.inner.advance(result);
-    }
-
-    fn output(&self) -> Option<Value> {
-        self.inner.output()
-    }
-
-    fn fingerprint(&self) -> Option<u64> {
-        self.inner.fingerprint()
-    }
-
-    fn may_access(&self, out: &mut cfc::core::RegisterSet) -> bool {
-        self.inner.may_access(out)
-    }
-}
-
-impl NamingAlgorithm for MutatedTasScan {
-    type Proc = MutatedProc;
-
-    fn name(&self) -> &str {
-        "mutated-tas-scan"
-    }
-
-    fn n(&self) -> usize {
-        self.inner.n()
-    }
-
-    fn model(&self) -> Model {
-        self.inner.model()
-    }
-
-    fn layout(&self) -> Layout {
-        self.inner.layout()
-    }
-
-    fn process(&self) -> MutatedProc {
-        MutatedProc {
-            inner: self.inner.process(),
-            broken: self.broken,
-        }
-    }
-
-    fn step_budget(&self) -> u64 {
-        self.inner.step_budget()
-    }
-}
 
 #[test]
 fn seeded_mutation_caught_by_all_variants_with_identical_outputs() {
